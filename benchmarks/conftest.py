@@ -1,0 +1,1 @@
+"""Benchmark harness package marker (helpers live in bench_common)."""

@@ -1,0 +1,140 @@
+"""Benchmark E8: ablations of the design choices DESIGN.md calls out.
+
+Three ablations on the Figure 7 storm workload:
+
+* replacement policy — the analysis is policy-agnostic (Section 4.3),
+  so the SS bound must hold for every policy;
+* PRB/PWB arbitration — round-robin vs write-back-first vs
+  request-first;
+* sequencer on/off — the observed-WCL gap the set sequencer buys.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.wcl import SharedPartitionParams, wcl_ss_cycles, wcl_nss_cycles
+from repro.bus.arbiter import ArbitrationPolicy
+from repro.experiments.configs import build_system_for_notation
+from repro.experiments.tables import render_table
+from repro.sim.simulator import simulate
+from repro.workloads.adversarial import conflict_storm_traces
+
+from bench_common import emit
+
+PARAMS = SharedPartitionParams(
+    total_cores=4,
+    sharers=4,
+    ways=16,
+    partition_lines=16,
+    core_capacity_lines=64,
+    slot_width=50,
+)
+
+
+def storm():
+    return conflict_storm_traces(
+        cores=[0, 1, 2, 3], partition_sets=1, lines_per_core=20, repeats=25
+    )
+
+
+def run_policy_ablation():
+    rows = []
+    for policy in ("lru", "fifo", "plru", "random", "round-robin", "nmru"):
+        config = build_system_for_notation(
+            "SS(1,16,4)", num_cores=4, llc_policy=policy
+        )
+        report = simulate(config, storm())
+        rows.append([policy, report.observed_wcl(), wcl_ss_cycles(PARAMS)])
+    return rows
+
+
+def run_arbitration_ablation():
+    """Arbitration policies on the storm.
+
+    ``request-first`` is expected to *starve*: a blocked core never
+    yields a slot to its write-backs, so no pending eviction ever
+    frees and every sharer deadlocks — the model-level reason the paper
+    requires a predictable PRB/PWB round-robin (Section 3).  The run is
+    capped at a small slot budget and reported as starved.
+    """
+    rows = []
+    for policy in ArbitrationPolicy:
+        config = dataclasses.replace(
+            build_system_for_notation(
+                "NSS(1,16,4)", num_cores=4, max_slots=50_000
+            ),
+            arbitration=policy,
+        )
+        report = simulate(config, storm())
+        rows.append(
+            [
+                policy.value,
+                report.observed_wcl(),
+                report.makespan,
+                "yes" if report.starved_cores() else "no",
+            ]
+        )
+    return rows
+
+
+def run_sequencer_ablation():
+    rows = []
+    for notation in ("SS(1,16,4)", "NSS(1,16,4)"):
+        config = build_system_for_notation(notation, num_cores=4)
+        report = simulate(config, storm())
+        rows.append(
+            [
+                notation,
+                report.observed_wcl(),
+                report.llc_blocked_slots,
+                report.makespan,
+            ]
+        )
+    return rows
+
+
+def test_replacement_policy_ablation(benchmark):
+    rows = benchmark.pedantic(run_policy_ablation, iterations=1, rounds=1)
+    emit(
+        render_table(
+            ["policy", "observed WCL", "SS bound"],
+            rows,
+            title="Ablation: replacement policy (storm, SS(1,16,4))",
+        )
+    )
+    for policy, observed, bound in rows:
+        assert observed <= bound, policy
+
+
+def test_arbitration_ablation(benchmark):
+    rows = benchmark.pedantic(run_arbitration_ablation, iterations=1, rounds=1)
+    emit(
+        render_table(
+            ["arbitration", "observed WCL", "makespan", "starved"],
+            rows,
+            title="Ablation: PRB/PWB arbitration (storm, NSS(1,16,4))",
+        )
+    )
+    bound = wcl_nss_cycles(PARAMS)
+    by_policy = {row[0]: row for row in rows}
+    for policy in (ArbitrationPolicy.ROUND_ROBIN, ArbitrationPolicy.WRITEBACK_FIRST):
+        row = by_policy[policy.value]
+        assert row[1] <= bound, policy
+        assert row[3] == "no", policy
+    # Request-first starves the write-back path and with it every
+    # sharer — the reason the system model mandates round-robin.
+    assert by_policy[ArbitrationPolicy.REQUEST_FIRST.value][3] == "yes"
+
+
+def test_sequencer_ablation(benchmark):
+    rows = benchmark.pedantic(run_sequencer_ablation, iterations=1, rounds=1)
+    emit(
+        render_table(
+            ["config", "observed WCL", "blocked slots", "makespan"],
+            rows,
+            title="Ablation: set sequencer on/off (storm)",
+        )
+    )
+    ss_row, nss_row = rows
+    assert nss_row[1] >= ss_row[1], "sequencer must not worsen observed WCL"

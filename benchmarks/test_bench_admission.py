@@ -1,0 +1,77 @@
+"""Benchmark E14 (extension): the admission planner at cluster scale.
+
+Plans partition layouts for randomized 16-core tasksets on an
+MPPA3-like cluster and measures planning throughput.  Checks: plans fit
+the LLC, shared groups carry sequencers, and every admitted verdict is
+consistent with its bound.
+"""
+
+import random
+
+from repro.analysis.admission import PlatformSpec, TaskSpec, plan_admission
+from repro.experiments.tables import render_table
+
+from bench_common import emit
+
+PLATFORM = PlatformSpec(
+    num_cores=16, llc_sets=64, llc_ways=16, slot_width=50
+)
+
+
+def random_taskset(seed: int):
+    rng = random.Random(seed)
+    tasks = []
+    for core in range(PLATFORM.num_cores):
+        critical = rng.random() < 0.25
+        tasks.append(
+            TaskSpec(
+                name=f"task{core}",
+                core=core,
+                # The private bound on a 16-core 1S-TDM bus is already
+                # (2*16+1)*50 = 1650 cycles — slots are the floor, so
+                # budgets below that are physically unmeetable.
+                latency_budget_cycles=(
+                    rng.choice([1_700, 2_500]) if critical
+                    else rng.choice([25_000, 60_000, 120_000])
+                ),
+                footprint_bytes=rng.choice([2048, 4096, 8192, 16384]),
+                criticality="ASIL-D" if critical else "QM",
+                allow_sharing=not critical,
+            )
+        )
+    return tasks
+
+
+def plan_many(count: int = 50):
+    plans = [plan_admission(random_taskset(seed), PLATFORM) for seed in range(count)]
+    return plans
+
+
+def test_admission_planning_at_scale(benchmark):
+    plans = benchmark(plan_many)
+    feasible = sum(1 for plan in plans if plan.feasible)
+    shared_groups = [
+        sum(1 for p in plan.partitions if p.is_shared) for plan in plans
+    ]
+    utilizations = [plan.utilization() for plan in plans]
+    emit(
+        render_table(
+            ["metric", "value"],
+            [
+                ["tasksets planned", len(plans)],
+                ["feasible", feasible],
+                ["mean shared groups", f"{sum(shared_groups)/len(plans):.1f}"],
+                ["mean LLC utilisation", f"{sum(utilizations)/len(plans):.0%}"],
+            ],
+            title="Admission planning: 16-core cluster, randomized tasksets",
+        )
+    )
+    for plan in plans:
+        assert plan.sets_used <= PLATFORM.llc_sets
+        for partition in plan.partitions:
+            assert partition.sequencer == partition.is_shared
+        for verdict in plan.verdicts.values():
+            assert verdict.admitted == (
+                verdict.bound_cycles <= verdict.task.latency_budget_cycles
+            )
+    assert feasible == len(plans), "generous QM budgets must always fit"

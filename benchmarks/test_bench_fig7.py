@@ -1,0 +1,52 @@
+"""Benchmark E1: Figure 7 — observed vs analytical WCL (SS / NSS / P).
+
+Regenerates the paper's Figure 7: the observed worst-case latency of the
+three partition configurations across address ranges, against the
+analytical bounds of 5000 (SS), 979 250 (NSS) and 450 (P) cycles.
+Reproduction criteria: every observation under its bound; NSS's observed
+WCL at least SS's; P's the lowest.
+"""
+
+from repro.experiments.fig7 import run_fig7
+
+from bench_common import emit
+
+
+def run():
+    return run_fig7(num_requests=300)
+
+
+def run_adversarial():
+    return run_fig7(num_requests=300, adversarial=True)
+
+
+def test_fig7_wcl(benchmark):
+    result = benchmark.pedantic(run, iterations=1, rounds=1)
+    emit(result.render())
+
+    assert result.all_within_bounds()
+    ss_max = result.max_observed("SS(1,16,4)")
+    nss_max = result.max_observed("NSS(1,16,4)")
+    p_max = result.max_observed("P(1,16)")
+    assert nss_max >= ss_max, "NSS must observe at least SS's WCL (Obs. 3)"
+    assert p_max <= ss_max, "the private partition observes the lowest WCL"
+    assert p_max <= 450, "P must sit under the paper's 450-cycle bound"
+
+
+def test_fig7_wcl_adversarial(benchmark):
+    """The steered variant separates NSS from SS at *every* range,
+    matching the published figure's per-range appearance."""
+    result = benchmark.pedantic(run_adversarial, iterations=1, rounds=1)
+    emit(result.render())
+
+    assert result.all_within_bounds()
+    ss_by_range = {
+        row.address_range: row.observed_wcl
+        for row in result.for_config("SS(1,16,4)")
+    }
+    for row in result.for_config("NSS(1,16,4)"):
+        assert row.observed_wcl > ss_by_range[row.address_range], (
+            f"NSS must exceed SS at range {row.address_range}"
+        )
+    for row in result.for_config("P(1,16)"):
+        assert row.observed_wcl <= 450

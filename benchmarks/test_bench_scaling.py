@@ -1,0 +1,90 @@
+"""Benchmark E11 (extension): scaling with the core count.
+
+The paper's motivation is the trend toward more cores per cluster
+(Kalray MPPA3: 16 cores per cluster).  This benchmark sweeps the sharer
+count and shows the two bounds diverging — Theorem 4.7 growing ~n³,
+Theorem 4.8 ~n² (sic: 2(n−1)·n·N with N = n) — while the simulator's
+observed WCL on the same storm stays under both.
+"""
+
+from repro.analysis.wcl import (
+    SharedPartitionParams,
+    wcl_nss_cycles,
+    wcl_ss_cycles,
+)
+from repro.common.types import AccessType
+from repro.experiments.tables import render_table
+from repro.llc.partition import PartitionSpec
+from repro.sim.config import SystemConfig
+from repro.sim.simulator import simulate
+from repro.workloads.adversarial import conflict_storm_traces
+
+from bench_common import emit
+
+CORE_COUNTS = (2, 4, 6, 8)
+WAYS = 8
+SLOT = 50
+
+
+def run_scaling():
+    rows = []
+    for cores in CORE_COUNTS:
+        partition = PartitionSpec(
+            "shared", [0], (0, WAYS), tuple(range(cores)), sequencer=True
+        )
+        config = SystemConfig(
+            num_cores=cores,
+            partitions=[partition],
+            llc_sets=1,
+            llc_ways=WAYS,
+            slot_width=SLOT,
+            max_slots=1_000_000,
+        )
+        traces = conflict_storm_traces(
+            cores=list(range(cores)),
+            partition_sets=1,
+            lines_per_core=WAYS + 4,
+            repeats=15,
+        )
+        report = simulate(config, traces)
+        params = SharedPartitionParams(
+            total_cores=cores,
+            sharers=cores,
+            ways=WAYS,
+            partition_lines=WAYS,
+            core_capacity_lines=64,
+            slot_width=SLOT,
+        )
+        rows.append(
+            [
+                cores,
+                report.observed_bus_wcl(),
+                wcl_ss_cycles(params),
+                wcl_nss_cycles(params),
+                report.makespan,
+            ]
+        )
+    return rows
+
+
+def test_core_count_scaling(benchmark):
+    rows = benchmark.pedantic(run_scaling, iterations=1, rounds=1)
+    emit(
+        render_table(
+            ["cores", "observed WCL", "SS bound", "NSS bound", "makespan"],
+            rows,
+            title="Scaling: shared 8-way single-set partition, all cores sharing",
+        )
+    )
+    for cores, observed, ss_bound, nss_bound, _makespan in rows:
+        assert observed <= ss_bound, cores
+        assert ss_bound < nss_bound
+    # Bounds must be monotone in the core count.
+    ss_bounds = [row[2] for row in rows]
+    nss_bounds = [row[3] for row in rows]
+    assert ss_bounds == sorted(ss_bounds)
+    assert nss_bounds == sorted(nss_bounds)
+    # The NSS/SS gap widens with the core count (the paper's case for
+    # the set sequencer getting stronger as integration grows).
+    gaps = [row[3] / row[2] for row in rows]
+    assert gaps == sorted(gaps)

@@ -1,0 +1,33 @@
+"""Simulator-throughput benchmark (not a paper artifact).
+
+Measures bus slots simulated per second on the paper's 4-core platform
+so performance regressions in the engine are visible across revisions.
+"""
+
+from repro.experiments.configs import build_system_for_notation
+from repro.sim.simulator import simulate
+from repro.workloads.synthetic import (
+    SyntheticWorkloadConfig,
+    generate_disjoint_workload,
+)
+
+from bench_common import emit
+
+
+def make_inputs():
+    config = build_system_for_notation("SS(4,16,4)", num_cores=4)
+    workload = SyntheticWorkloadConfig(
+        num_requests=400, address_range_size=8192, seed=11
+    )
+    traces = generate_disjoint_workload(workload, range(4))
+    return config, traces
+
+
+def test_engine_throughput(benchmark):
+    config, traces = make_inputs()
+    report = benchmark(lambda: simulate(config, traces))
+    assert not report.timed_out
+    emit(
+        f"simulated {report.total_slots} slots / {report.total_cycles} cycles; "
+        f"{len(report.requests)} LLC requests completed"
+    )

@@ -1,0 +1,32 @@
+"""Benchmark E9 (extension): bound tightness under adversarial steering.
+
+Not a paper artifact — it quantifies the paper's remark that the
+Theorem 4.7 bound is "grossly pessimistic" while Theorem 4.8 is usable:
+adversarial replacement + write-back-first arbitration push the
+observed WCL to a double-digit percentage of the SS bound but to well
+under 1% of the NSS bound.
+"""
+
+from repro.experiments.tightness import run_tightness
+
+from bench_common import emit
+
+
+def run():
+    return run_tightness(repeats=30)
+
+
+def test_bound_tightness(benchmark):
+    result = benchmark.pedantic(run, iterations=1, rounds=1)
+    emit(result.render())
+
+    for config in ("SS(1,16,4)", "NSS(1,16,4)"):
+        steered = result.row(config, True)
+        unsteered = result.row(config, False)
+        assert steered.observed_wcl <= steered.bound
+        assert steered.observed_wcl >= unsteered.observed_wcl
+
+    # The asymmetry the paper motivates the sequencer with: steering
+    # gets visibly close to the SS bound but nowhere near the NSS one.
+    assert result.row("SS(1,16,4)", True).ratio > 0.05
+    assert result.row("NSS(1,16,4)", True).ratio < 0.05

@@ -1,0 +1,38 @@
+"""Benchmark E6: the Section 4.1 unbounded-WCL scenario.
+
+Regenerates the Figure 2 dynamics: under a TDM schedule that grants the
+interfering core two slots per period, the victim's latency grows
+linearly with the interferer's stream (unbounded in the limit); under
+1S-TDM (Definition 4.1) it is flat and sits far below the Theorem 4.7
+bound.
+"""
+
+from repro.analysis.unbounded import starvation_witness
+from repro.experiments.tables import render_table
+
+from bench_common import emit
+
+
+def run():
+    return starvation_witness(stream_lengths=(50, 100, 200, 400), ways=4)
+
+
+def test_unbounded_scenario(benchmark):
+    result = benchmark.pedantic(run, iterations=1, rounds=1)
+    emit(
+        render_table(
+            ["interferer stream", "multi-slot TDM (cycles)", "1S-TDM (cycles)"],
+            [
+                list(row)
+                for row in zip(
+                    result.stream_lengths,
+                    result.multi_slot_latencies,
+                    result.one_slot_latencies,
+                )
+            ],
+            title="Section 4.1: victim latency vs interferer stream length",
+        )
+    )
+    assert result.multi_slot_growth
+    assert result.one_slot_bounded
+    assert len(set(result.one_slot_latencies)) == 1

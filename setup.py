@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The modern metadata lives in pyproject.toml; this file exists so the
+package installs in environments whose setuptools cannot build PEP 660
+editable wheels (e.g. offline boxes without the ``wheel`` package):
+``python setup.py develop`` there, ``pip install -e .`` elsewhere.
+"""
+
+from setuptools import setup
+
+setup()

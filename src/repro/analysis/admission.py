@@ -1,0 +1,299 @@
+"""Partition planning and admission control.
+
+The paper's conclusion sketches the intended deployment: "certain tasks
+have their own partitions, but others share partitions; all of which
+depends on their performance and real-time requirements."  This module
+turns that sentence into an algorithm:
+
+given one task per core (Section 3), each with a per-access latency
+budget, a working-set footprint and an isolation requirement, produce a
+partition layout —
+
+* tasks that demand isolation, or whose budget is below every feasible
+  shared bound, get **private** partitions (bound ``(2N+1)·SW``);
+* the rest are greedily packed into **shared, sequencer-ordered**
+  partitions, keeping every member's budget above the group's Theorem
+  4.8 bound ``(2(n−1)·n+1)·N·SW`` (which grows with the group size n);
+* LLC sets are then dealt to partitions proportionally to footprint.
+
+The result is directly usable: :meth:`AdmissionPlan.partitions` feeds
+:class:`~repro.sim.config.SystemConfig`, and every per-task analytical
+bound is reported next to its budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.wcl import (
+    SharedPartitionParams,
+    wcl_private_cycles,
+    wcl_ss_cycles,
+)
+from repro.common.errors import AnalysisError
+from repro.common.intmath import ceil_div
+from repro.common.types import CoreId
+from repro.common.validation import require, require_positive
+from repro.llc.partition import PartitionSpec
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One task (mapped to one core) and its requirements."""
+
+    name: str
+    core: CoreId
+    latency_budget_cycles: int
+    footprint_bytes: int
+    criticality: str = "QM"
+    allow_sharing: bool = True
+
+    def __post_init__(self) -> None:
+        require(bool(self.name), "task name must be non-empty", AnalysisError)
+        require_positive(
+            self.latency_budget_cycles, "latency_budget_cycles", AnalysisError
+        )
+        require_positive(self.footprint_bytes, "footprint_bytes", AnalysisError)
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """The hardware the plan must fit."""
+
+    num_cores: int = 4
+    llc_sets: int = 32
+    llc_ways: int = 16
+    line_size: int = 64
+    slot_width: int = 50
+    core_capacity_lines: int = 64
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "num_cores",
+            "llc_sets",
+            "llc_ways",
+            "line_size",
+            "slot_width",
+            "core_capacity_lines",
+        ):
+            require_positive(getattr(self, field_name), field_name, AnalysisError)
+
+    @property
+    def set_bytes(self) -> int:
+        """Bytes per full-way set row."""
+        return self.llc_ways * self.line_size
+
+
+@dataclass(frozen=True)
+class TaskVerdict:
+    """One task's admission outcome."""
+
+    task: TaskSpec
+    partition_name: str
+    shared_with: Tuple[CoreId, ...]
+    bound_cycles: int
+
+    @property
+    def admitted(self) -> bool:
+        """Whether the analytical bound fits the task's budget."""
+        return self.bound_cycles <= self.task.latency_budget_cycles
+
+    @property
+    def slack_cycles(self) -> int:
+        """Budget minus bound (negative when the task misses)."""
+        return self.task.latency_budget_cycles - self.bound_cycles
+
+
+@dataclass
+class AdmissionPlan:
+    """The planner's output: a partition layout plus per-task verdicts."""
+
+    partitions: List[PartitionSpec]
+    verdicts: Dict[str, TaskVerdict]
+    platform: PlatformSpec
+
+    @property
+    def feasible(self) -> bool:
+        """Whether every task's bound fits its budget."""
+        return all(verdict.admitted for verdict in self.verdicts.values())
+
+    @property
+    def sets_used(self) -> int:
+        """LLC set rows the plan occupies."""
+        return sum(partition.num_sets for partition in self.partitions)
+
+    def utilization(self) -> float:
+        """Fraction of the LLC the plan hands out."""
+        return self.sets_used / self.platform.llc_sets
+
+
+def plan_admission(
+    tasks: Sequence[TaskSpec], platform: Optional[PlatformSpec] = None
+) -> AdmissionPlan:
+    """Build a partition plan for ``tasks`` on ``platform``.
+
+    Raises :class:`AnalysisError` on malformed input (duplicate cores,
+    more tasks than cores).  An *infeasible* plan (some budget cannot be
+    met even with a private partition, or the LLC is too small) is
+    returned with ``feasible == False`` rather than raised, so callers
+    can inspect which task misses and by how much.
+    """
+    platform = platform or PlatformSpec()
+    require(bool(tasks), "need at least one task", AnalysisError)
+    cores = [task.core for task in tasks]
+    require(
+        len(set(cores)) == len(cores),
+        f"one task per core (Section 3); duplicate cores in {cores}",
+        AnalysisError,
+    )
+    require(
+        all(0 <= core < platform.num_cores for core in cores),
+        f"task cores must be within 0..{platform.num_cores - 1}",
+        AnalysisError,
+    )
+
+    private_bound = wcl_private_cycles(platform.num_cores, platform.slot_width)
+    isolated: List[TaskSpec] = []
+    shareable: List[TaskSpec] = []
+    for task in tasks:
+        if task.allow_sharing:
+            shareable.append(task)
+        else:
+            isolated.append(task)
+
+    groups = _pack_shared_groups(shareable, platform)
+    # Degenerate shared "groups" of one task are just private partitions.
+    for group in list(groups):
+        if len(group) == 1:
+            isolated.append(group[0])
+            groups.remove(group)
+
+    partitions, verdicts = _allocate_sets(isolated, groups, platform, private_bound)
+    return AdmissionPlan(partitions=partitions, verdicts=verdicts, platform=platform)
+
+
+def _group_bound(size: int, platform: PlatformSpec) -> int:
+    """Theorem 4.8 bound for a sequencer-ordered group of ``size`` sharers."""
+    if size < 2:
+        return wcl_private_cycles(platform.num_cores, platform.slot_width)
+    params = SharedPartitionParams(
+        total_cores=platform.num_cores,
+        sharers=size,
+        ways=platform.llc_ways,
+        partition_lines=platform.llc_ways,  # >= one set; bound is size-free
+        core_capacity_lines=platform.core_capacity_lines,
+        slot_width=platform.slot_width,
+    )
+    return wcl_ss_cycles(params)
+
+
+def _pack_shared_groups(
+    tasks: List[TaskSpec], platform: PlatformSpec
+) -> List[List[TaskSpec]]:
+    """Greedy first-fit-decreasing-by-budget packing under Theorem 4.8.
+
+    Tightest budgets first: each task joins the first group whose bound,
+    after growing by one sharer, still fits every member (checking the
+    new member suffices — earlier members have no smaller budgets).
+    """
+    ordered = sorted(tasks, key=lambda task: task.latency_budget_cycles)
+    groups: List[List[TaskSpec]] = []
+    for task in ordered:
+        placed = False
+        for group in groups:
+            grown = _group_bound(len(group) + 1, platform)
+            if grown <= task.latency_budget_cycles and all(
+                grown <= member.latency_budget_cycles for member in group
+            ):
+                group.append(task)
+                placed = True
+                break
+        if not placed:
+            groups.append([task])
+    return groups
+
+
+def _sets_for_footprint(footprint_bytes: int, platform: PlatformSpec) -> int:
+    return max(1, ceil_div(footprint_bytes, platform.set_bytes))
+
+
+def _allocate_sets(
+    isolated: List[TaskSpec],
+    groups: List[List[TaskSpec]],
+    platform: PlatformSpec,
+    private_bound: int,
+) -> Tuple[List[PartitionSpec], Dict[str, TaskVerdict]]:
+    """Deal set rows to partitions, scaling down if the LLC is short."""
+    demands: List[Tuple[str, List[TaskSpec], bool, int]] = []
+    for task in isolated:
+        demands.append(
+            (
+                f"private-{task.name}",
+                [task],
+                False,
+                _sets_for_footprint(task.footprint_bytes, platform),
+            )
+        )
+    for index, group in enumerate(groups):
+        total_footprint = sum(task.footprint_bytes for task in group)
+        demands.append(
+            (
+                f"shared-{index}",
+                group,
+                True,
+                _sets_for_footprint(total_footprint, platform),
+            )
+        )
+
+    wanted = sum(demand for _, _, _, demand in demands)
+    budgeted = _scale_demands(
+        [demand for _, _, _, demand in demands], platform.llc_sets
+    ) if wanted > platform.llc_sets else [demand for _, _, _, demand in demands]
+
+    partitions: List[PartitionSpec] = []
+    verdicts: Dict[str, TaskVerdict] = {}
+    next_set = 0
+    for (name, members, sequencer, _), sets_granted in zip(demands, budgeted):
+        sets = list(range(next_set, next_set + sets_granted))
+        next_set += sets_granted
+        member_cores = tuple(sorted(task.core for task in members))
+        partitions.append(
+            PartitionSpec(
+                name=name,
+                sets=sets,
+                way_range=(0, platform.llc_ways),
+                cores=member_cores,
+                sequencer=sequencer and len(members) > 1,
+            )
+        )
+        bound = (
+            _group_bound(len(members), platform)
+            if len(members) > 1
+            else private_bound
+        )
+        for task in members:
+            verdicts[task.name] = TaskVerdict(
+                task=task,
+                partition_name=name,
+                shared_with=tuple(c for c in member_cores if c != task.core),
+                bound_cycles=bound,
+            )
+    return partitions, verdicts
+
+
+def _scale_demands(demands: List[int], available: int) -> List[int]:
+    """Shrink demands proportionally to fit, keeping every one >= 1."""
+    if available < len(demands):
+        raise AnalysisError(
+            f"LLC has {available} set rows but the plan needs at least "
+            f"{len(demands)} (one per partition)"
+        )
+    total = sum(demands)
+    scaled = [max(1, demand * available // total) for demand in demands]
+    # Fix rounding: trim the largest grants until we fit.
+    while sum(scaled) > available:
+        index = max(range(len(scaled)), key=lambda i: scaled[i])
+        require(scaled[index] > 1, "cannot shrink below one set", AnalysisError)
+        scaled[index] -= 1
+    return scaled

@@ -1,0 +1,178 @@
+"""The distance metric (Definition 4.2) and its dynamics.
+
+``d_{c_j}^{c_i}`` is the number of slots from the start of ``c_i``'s
+slot to the start of ``c_j``'s next slot under a 1S-TDM schedule; for a
+cache line ``l`` privately cached by core ``c(l)``, the paper tracks
+``d_{c_ua}^{c(l)}`` — how long the core under analysis would have to
+wait for the current private owner of ``l`` to reach its own slot.
+
+Observation 1: while ``c_ua`` performs no write-backs, these distances
+never increase (Lemma 4.4) and strictly decrease at least every
+``2(n−1)`` of ``c_ua``'s slots (Corollary 4.5).  Observation 3: a
+write-back by ``c_ua`` lets them increase again (Lemma 4.6).  The
+:class:`DistanceTracker` records the owner history of a set's lines so
+tests and examples can observe exactly these dynamics on simulator event
+logs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.bus.schedule import TdmSchedule, distance
+
+if TYPE_CHECKING:
+    from repro.sim.events import EventLog
+from repro.common.errors import AnalysisError
+from repro.common.types import BlockAddress, CoreId, Cycle
+
+
+def line_distance(
+    schedule: TdmSchedule, owner: Optional[CoreId], observer: CoreId
+) -> Optional[int]:
+    """``d_{observer}^{c(l)}`` for a line owned by ``owner``.
+
+    ``None`` when the line has no private owner (the distance is only
+    defined while some core caches the line privately).
+    """
+    if owner is None:
+        return None
+    return distance(schedule, owner, observer)
+
+
+def tracker_from_events(
+    events: "EventLog",
+    schedule: TdmSchedule,
+    observer: CoreId,
+    by: str = "entry",
+) -> "DistanceTracker":
+    """Reconstruct ownership history from a simulation event log.
+
+    ``by="entry"`` tracks each LLC entry ``(set, way)`` — the paper's
+    own view: in Figure 3 "the core that caches l₁ changes from c₃ …
+    to c₄", where l₁ is a *slot in the set* that is freed and
+    re-occupied by another core's line.  ``by="block"`` tracks block
+    addresses instead (a line that leaves the LLC ends its trajectory).
+
+    Works for the paper's workloads, where ranges are disjoint and a
+    line has one private owner: allocations and hits set the owner,
+    back-invalidations and frees clear it.
+    """
+    from repro.sim.events import EventKind
+
+    if by not in ("entry", "block"):
+        raise AnalysisError(f"by must be 'entry' or 'block', got {by!r}")
+    tracker = DistanceTracker(schedule=schedule, observer=observer)
+
+    def key_of(event) -> Optional[object]:
+        if by == "block":
+            return event.block
+        if event.set_index is None or event.way is None:
+            return None
+        return (event.set_index, event.way)
+
+    for event in events:
+        key = key_of(event)
+        if key is None:
+            continue
+        if event.kind in (EventKind.LLC_ALLOC, EventKind.LLC_HIT):
+            tracker.record(event.cycle, key, event.core)
+        elif event.kind in (EventKind.BACK_INVALIDATE, EventKind.ENTRY_FREED):
+            tracker.record(event.cycle, key, None)
+    return tracker
+
+
+@dataclass(frozen=True)
+class OwnershipChange:
+    """One change of a line's private owner, as observed over time."""
+
+    cycle: Cycle
+    block: BlockAddress
+    owner: Optional[CoreId]
+    distance_to_observer: Optional[int]
+
+
+@dataclass
+class DistanceTracker:
+    """Tracks per-line owner distance relative to one observing core.
+
+    Feed it ownership changes (from simulator events or by hand) and
+    query the distance trajectory of each line — the quantity whose
+    monotone decrease (Observation 1) or increase after a write-back
+    (Observation 3) the paper's argument rests on.
+    """
+
+    schedule: TdmSchedule
+    observer: CoreId
+    history: Dict[BlockAddress, List[OwnershipChange]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.schedule.require_one_slot()
+        if self.observer not in self.schedule.cores:
+            raise AnalysisError(
+                f"observer core {self.observer} is not in the schedule"
+            )
+
+    def record(
+        self, cycle: Cycle, block: BlockAddress, owner: Optional[CoreId]
+    ) -> OwnershipChange:
+        """Record that ``block``'s private owner is now ``owner``."""
+        change = OwnershipChange(
+            cycle=cycle,
+            block=block,
+            owner=owner,
+            distance_to_observer=line_distance(self.schedule, owner, self.observer),
+        )
+        self.history.setdefault(block, []).append(change)
+        return change
+
+    def trajectory(self, block: BlockAddress) -> List[Optional[int]]:
+        """The distance sequence of one line, in recording order."""
+        return [
+            change.distance_to_observer for change in self.history.get(block, [])
+        ]
+
+    def _owned_pairs(self, block: BlockAddress, across_gaps: bool):
+        """Consecutive owned-distance pairs of a trajectory.
+
+        With ``across_gaps`` the free (``None``) samples are skipped, so
+        a freed-then-reoccupied entry compares its old owner against the
+        new one — the paper's Figure 3/4 view, where entry l₁ goes
+        "c₃ → (freed) → c₄" and the distance moves 2 → 1.  Without it,
+        a gap resets the comparison.
+        """
+        previous: Optional[int] = None
+        for value in self.trajectory(block):
+            if value is None:
+                if not across_gaps:
+                    previous = None
+                continue
+            if previous is not None:
+                yield previous, value
+            previous = value
+
+    def is_non_increasing(
+        self, block: BlockAddress, across_gaps: bool = False
+    ) -> bool:
+        """Whether the line's distance never increased (Observation 1)."""
+        return all(
+            later <= earlier
+            for earlier, later in self._owned_pairs(block, across_gaps)
+        )
+
+    def increases(self, block: BlockAddress, across_gaps: bool = False) -> int:
+        """Count of distance increases (Observation 3's signature)."""
+        return sum(
+            1
+            for earlier, later in self._owned_pairs(block, across_gaps)
+            if later > earlier
+        )
+
+    def decreases(self, block: BlockAddress, across_gaps: bool = False) -> int:
+        """Count of distance decreases (Observation 1's progress steps)."""
+        return sum(
+            1
+            for earlier, later in self._owned_pairs(block, across_gaps)
+            if later < earlier
+        )

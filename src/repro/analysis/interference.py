@@ -1,0 +1,162 @@
+"""Per-request interference decomposition.
+
+Theorem 4.7's critical instance (Figure 5) decomposes a request's
+latency into waiting for the first slot, the core's own write-backs,
+and stretches of waiting for other cores' evictions to drain.  This
+module performs the same decomposition *empirically* on a simulation's
+event log, so one can see where a measured latency actually went —
+useful both to explain observed WCLs and to compare NSS against SS
+(sequencer waits replace distance-increase stalls).
+
+Requires the run to have used ``record_events=True``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.bus.schedule import TdmSchedule
+from repro.common.errors import AnalysisError
+from repro.common.types import BlockAddress, CoreId, Cycle, SlotIndex
+from repro.sim.events import EventKind, EventLog
+from repro.sim.report import RequestRecord, SimReport
+
+
+@dataclass(frozen=True)
+class RequestBreakdown:
+    """Where one completed request's latency went.
+
+    All slot counts are slots of the requesting core between its first
+    bus broadcast and its response (inclusive); ``other_core_slots`` are
+    the interleaved slots owned by other cores in the same window.
+    """
+
+    core: CoreId
+    block: BlockAddress
+    latency: Cycle
+    wait_for_first_slot: Cycle
+    own_writeback_slots: int
+    blocked_full_slots: int
+    sequencer_blocked_slots: int
+    eviction_trigger_slots: int
+    service_slots: int
+    other_core_slots: int
+
+    @property
+    def own_slots(self) -> int:
+        """Total own slots the request's window consumed."""
+        return (
+            self.own_writeback_slots
+            + self.blocked_full_slots
+            + self.sequencer_blocked_slots
+            + self.eviction_trigger_slots
+            + self.service_slots
+        )
+
+
+def _classify_own_slots(
+    events: EventLog,
+) -> Dict[Tuple[CoreId, SlotIndex], str]:
+    """Label every (core, slot) with what the core's slot was spent on."""
+    labels: Dict[Tuple[CoreId, SlotIndex], str] = {}
+    for event in events:
+        key = (event.core, event.slot)
+        if event.kind is EventKind.WB_SENT:
+            labels[key] = "writeback"
+        elif event.kind in (EventKind.LLC_HIT, EventKind.LLC_ALLOC):
+            labels[key] = "service"
+        elif event.kind is EventKind.SEQ_BLOCKED:
+            labels.setdefault(key, "seq-blocked")
+        elif event.kind is EventKind.EVICT_START:
+            # Only the requester's own trigger counts; back-invalidation
+            # events carry the victim owners' ids instead.
+            labels.setdefault(key, "evict-trigger")
+        elif event.kind is EventKind.BLOCKED_FULL:
+            labels.setdefault(key, "blocked")
+    return labels
+
+
+def decompose_request(
+    record: RequestRecord,
+    labels: Dict[Tuple[CoreId, SlotIndex], str],
+    schedule: TdmSchedule,
+) -> RequestBreakdown:
+    """Decompose one completed request using pre-classified slots."""
+    first_slot = schedule.slot_of_cycle(record.first_on_bus_at)
+    last_slot = schedule.slot_of_cycle(record.completed_at - 1)
+    counts = {
+        "writeback": 0,
+        "blocked": 0,
+        "seq-blocked": 0,
+        "evict-trigger": 0,
+        "service": 0,
+    }
+    other = 0
+    for slot in range(first_slot, last_slot + 1):
+        if schedule.owner_of_slot(slot) != record.core:
+            other += 1
+            continue
+        label = labels.get((record.core, slot))
+        if label in counts:
+            counts[label] += 1
+    return RequestBreakdown(
+        core=record.core,
+        block=record.block,
+        latency=record.latency,
+        wait_for_first_slot=record.first_on_bus_at - record.enqueued_at,
+        own_writeback_slots=counts["writeback"],
+        blocked_full_slots=counts["blocked"],
+        sequencer_blocked_slots=counts["seq-blocked"],
+        eviction_trigger_slots=counts["evict-trigger"],
+        service_slots=counts["service"],
+        other_core_slots=other,
+    )
+
+
+def decompose_report(
+    report: SimReport, schedule: TdmSchedule
+) -> List[RequestBreakdown]:
+    """Decompose every completed request of a run."""
+    if len(report.events) == 0:
+        raise AnalysisError(
+            "interference decomposition needs an event log; run with "
+            "record_events=True"
+        )
+    labels = _classify_own_slots(report.events)
+    return [
+        decompose_request(record, labels, schedule)
+        for record in report.requests
+    ]
+
+
+def summarize(breakdowns: List[RequestBreakdown]) -> Dict[str, float]:
+    """Aggregate slot counts across requests (totals plus means)."""
+    if not breakdowns:
+        return {}
+    count = len(breakdowns)
+    totals = {
+        "requests": count,
+        "own_writeback_slots": sum(b.own_writeback_slots for b in breakdowns),
+        "blocked_full_slots": sum(b.blocked_full_slots for b in breakdowns),
+        "sequencer_blocked_slots": sum(
+            b.sequencer_blocked_slots for b in breakdowns
+        ),
+        "eviction_trigger_slots": sum(
+            b.eviction_trigger_slots for b in breakdowns
+        ),
+        "service_slots": sum(b.service_slots for b in breakdowns),
+        "other_core_slots": sum(b.other_core_slots for b in breakdowns),
+    }
+    totals["mean_latency"] = sum(b.latency for b in breakdowns) / count
+    totals["mean_wait_for_first_slot"] = (
+        sum(b.wait_for_first_slot for b in breakdowns) / count
+    )
+    return totals
+
+
+def worst_request(breakdowns: List[RequestBreakdown]) -> RequestBreakdown:
+    """The breakdown of the highest-latency request (the observed WCL)."""
+    if not breakdowns:
+        raise AnalysisError("no completed requests to pick a worst case from")
+    return max(breakdowns, key=lambda b: b.latency)

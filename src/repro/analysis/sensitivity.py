@@ -1,0 +1,85 @@
+"""Parameter sweeps of the analytical WCL bounds.
+
+These back the ablation benchmarks: they show *why* the set sequencer
+matters by exposing how Theorem 4.7 scales with sharer count (~n³), way
+count and partition size, while Theorem 4.8 is flat in the cache
+parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Sequence
+
+from repro.analysis.wcl import (
+    SharedPartitionParams,
+    wcl_nss_cycles,
+    wcl_ss_cycles,
+)
+
+
+@dataclass(frozen=True)
+class SensitivityPoint:
+    """Both bounds at one parameter setting."""
+
+    parameter: str
+    value: int
+    nss_cycles: int
+    ss_cycles: int
+
+    @property
+    def reduction(self) -> float:
+        """NSS / SS ratio at this point."""
+        return self.nss_cycles / self.ss_cycles
+
+
+def _point(parameter: str, value: int, params: SharedPartitionParams) -> SensitivityPoint:
+    return SensitivityPoint(
+        parameter=parameter,
+        value=value,
+        nss_cycles=wcl_nss_cycles(params),
+        ss_cycles=wcl_ss_cycles(params),
+    )
+
+
+def sweep_sharers(
+    base: SharedPartitionParams, sharers: Sequence[int]
+) -> List[SensitivityPoint]:
+    """Bounds as the sharer count ``n`` varies (total cores track ``n``
+    when ``n`` exceeds the base total)."""
+    points = []
+    for n in sharers:
+        params = replace(base, sharers=n, total_cores=max(base.total_cores, n))
+        points.append(_point("sharers", n, params))
+    return points
+
+
+def sweep_ways(
+    base: SharedPartitionParams, ways: Sequence[int]
+) -> List[SensitivityPoint]:
+    """Bounds as the set associativity ``w`` varies.
+
+    The partition line count scales with the way count (same set count),
+    which is how a hardware way-partitioned LLC behaves.
+    """
+    sets = base.partition_lines // base.ways
+    points = []
+    for w in ways:
+        params = replace(base, ways=w, partition_lines=sets * w)
+        points.append(_point("ways", w, params))
+    return points
+
+
+def sweep_partition_lines(
+    base: SharedPartitionParams, line_counts: Sequence[int]
+) -> List[SensitivityPoint]:
+    """Bounds as the partition capacity ``M`` varies.
+
+    The SS bound is constant across this sweep — the paper's key claim
+    that the set sequencer makes the WCL *independent* of partition and
+    cache size.
+    """
+    return [
+        _point("partition_lines", m, replace(base, partition_lines=m))
+        for m in line_counts
+    ]

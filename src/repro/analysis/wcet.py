@@ -1,0 +1,156 @@
+"""Task-level WCET bounds built on the per-access WCL.
+
+The paper bounds one memory access.  Certifying a task needs the next
+step: an execution-time bound for its whole trace.  With the system
+model's in-order, one-outstanding-request core, a task's execution time
+is simply the sum of its access latencies, so per-access WCLs compose
+additively.  This module provides the two standard flavours:
+
+* **static bound** — no knowledge of cache behaviour: every access is
+  assumed to miss everything and pay the full WCL.  Sound, enormous.
+* **hybrid (measurement-assisted) bound** — the industrial practice for
+  COTS multicores: take the LLC-access count from a measurement run
+  (misses in private caches are a per-task property, unaffected by
+  other cores under partitioning), bound each such access by the
+  analytical WCL and each private hit by the L2 hit latency.  Sound
+  under the system model *given* the measured miss count is the task's
+  true worst case, and typically orders of magnitude tighter.
+
+Both compose with any of the partition bounds (Theorem 4.7, Theorem
+4.8, private), so the module quantifies the real cost of sharing at the
+task level: swap the WCL, compare the bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.wcl import wcl_private_cycles, wcl_ss_cycles
+from repro.common.errors import AnalysisError
+from repro.common.types import Cycle
+from repro.common.validation import require, require_non_negative, require_positive
+from repro.cpu.private_stack import PrivateStackConfig
+from repro.sim.report import SimReport
+
+
+@dataclass(frozen=True)
+class TaskProfile:
+    """What we know about one task's memory behaviour."""
+
+    #: Total memory accesses in the task's trace.
+    accesses: int
+    #: Accesses that reach the LLC (private misses).  ``None`` when
+    #: unknown (forces the static bound).
+    llc_accesses: int | None = None
+
+    def __post_init__(self) -> None:
+        require_non_negative(self.accesses, "accesses", AnalysisError)
+        if self.llc_accesses is not None:
+            require_non_negative(self.llc_accesses, "llc_accesses", AnalysisError)
+            require(
+                self.llc_accesses <= self.accesses,
+                f"llc_accesses ({self.llc_accesses}) cannot exceed accesses "
+                f"({self.accesses})",
+                AnalysisError,
+            )
+
+
+@dataclass(frozen=True)
+class WcetBound:
+    """An execution-time bound and how it decomposes."""
+
+    kind: str
+    private_cycles: Cycle
+    memory_cycles: Cycle
+
+    @property
+    def total_cycles(self) -> Cycle:
+        """The bound."""
+        return self.private_cycles + self.memory_cycles
+
+
+def static_wcet_bound(
+    profile: TaskProfile,
+    wcl_cycles: int,
+) -> WcetBound:
+    """Every access pays the full WCL — sound with zero cache knowledge."""
+    require_positive(wcl_cycles, "wcl_cycles", AnalysisError)
+    return WcetBound(
+        kind="static",
+        private_cycles=0,
+        memory_cycles=profile.accesses * wcl_cycles,
+    )
+
+
+def hybrid_wcet_bound(
+    profile: TaskProfile,
+    wcl_cycles: int,
+    stack: PrivateStackConfig | None = None,
+) -> WcetBound:
+    """Measured LLC-access count, analytical per-access WCL.
+
+    Private hits are bounded by the slowest private hit (the L2 hit
+    latency — an L1 hit is never slower); LLC accesses by ``wcl_cycles``.
+    """
+    require_positive(wcl_cycles, "wcl_cycles", AnalysisError)
+    if profile.llc_accesses is None:
+        raise AnalysisError(
+            "hybrid bound needs the task's LLC-access count; run a "
+            "measurement (profile_task) or use static_wcet_bound"
+        )
+    stack = stack or PrivateStackConfig()
+    private_accesses = profile.accesses - profile.llc_accesses
+    return WcetBound(
+        kind="hybrid",
+        private_cycles=private_accesses * stack.l2_hit_latency,
+        memory_cycles=profile.llc_accesses * wcl_cycles,
+    )
+
+
+def profile_task(report: SimReport, core: int) -> TaskProfile:
+    """Extract a task's profile from a (measurement) simulation run."""
+    core_report = report.core_reports[core]
+    return TaskProfile(
+        accesses=core_report.private_hits + core_report.requests,
+        llc_accesses=core_report.requests,
+    )
+
+
+def sharing_cost_factor(
+    profile: TaskProfile,
+    sharers: int,
+    total_cores: int,
+    slot_width: int,
+    stack: PrivateStackConfig | None = None,
+) -> float:
+    """How much larger the hybrid WCET bound gets when the task moves
+    from a private partition to an ``sharers``-way shared one (SS).
+
+    This is the task-level price of sharing the paper's Section 6
+    weighs against the capacity gain — computable before committing to
+    a layout.
+    """
+    from repro.analysis.wcl import SharedPartitionParams
+
+    require(
+        sharers >= 2,
+        "sharing cost needs >= 2 sharers; 1 sharer is the private case",
+        AnalysisError,
+    )
+    private = hybrid_wcet_bound(
+        profile, wcl_private_cycles(total_cores, slot_width), stack
+    )
+    shared_wcl = wcl_ss_cycles(
+        SharedPartitionParams(
+            total_cores=total_cores,
+            sharers=sharers,
+            ways=16,
+            partition_lines=16,
+            core_capacity_lines=64,
+            slot_width=slot_width,
+        )
+    )
+    shared = hybrid_wcet_bound(profile, shared_wcl, stack)
+    if private.total_cycles == 0:
+        return 1.0
+    return shared.total_cycles / private.total_cycles

@@ -1,0 +1,228 @@
+"""Closed-form worst-case latency bounds (Theorems 4.7 and 4.8).
+
+Notation, following the paper:
+
+=====  ==============================================================
+``N``  cores on the TDM bus (the 1S-TDM period, in slots)
+``n``  cores sharing the partition of the core under analysis, n <= N
+``w``  ways of the LLC set the request maps to (partition ways)
+``M``  partition capacity in lines
+``m``  ``min(m_cua, M)`` where ``m_cua`` is the core's private (L2)
+       capacity in lines — the most lines whose eviction can force a
+       write-back on the core under analysis
+``SW`` TDM slot width in cycles
+=====  ==============================================================
+
+Theorem 4.7 (1S-TDM, no set sequencer)::
+
+    WCL = ((m + 1) · A · N + 1) · SW,   A = 2(n−1) · w · (n−1)
+
+Theorem 4.8 (with the set sequencer)::
+
+    WCL_ss = (2(n−1) · n + 1) · N · SW
+
+Private partition (no inter-core interference in the LLC): a request
+waits at most one period behind its own write-back, one period for its
+own slot, and one slot for the response: ``(2N + 1) · SW``.  This
+reproduces the paper's Figure 7 value of 450 cycles for ``N = 4,
+SW = 50``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import AnalysisError
+from repro.common.validation import require, require_positive
+from repro.llc.partition import PartitionKind, PartitionNotation
+
+
+@dataclass(frozen=True)
+class SharedPartitionParams:
+    """Parameters of one shared-partition WCL question.
+
+    ``sharers`` must be at least 2 — with a single core the partition is
+    private and the Theorem 4.7/4.8 critical instances cannot arise; use
+    :func:`wcl_private_slots` instead.
+    """
+
+    total_cores: int
+    sharers: int
+    ways: int
+    partition_lines: int
+    core_capacity_lines: int
+    slot_width: int
+
+    def __post_init__(self) -> None:
+        require_positive(self.total_cores, "total_cores", AnalysisError)
+        require_positive(self.sharers, "sharers", AnalysisError)
+        require_positive(self.ways, "ways", AnalysisError)
+        require_positive(self.partition_lines, "partition_lines", AnalysisError)
+        require_positive(self.core_capacity_lines, "core_capacity_lines", AnalysisError)
+        require_positive(self.slot_width, "slot_width", AnalysisError)
+        require(
+            self.sharers <= self.total_cores,
+            f"sharers ({self.sharers}) cannot exceed total cores "
+            f"({self.total_cores})",
+            AnalysisError,
+        )
+        require(
+            self.sharers >= 2,
+            f"shared-partition bounds need >= 2 sharers, got {self.sharers}; "
+            "a single-core partition is private (use wcl_private_slots)",
+            AnalysisError,
+        )
+        require(
+            self.ways <= self.partition_lines,
+            f"a set has {self.ways} ways but the partition only holds "
+            f"{self.partition_lines} lines",
+            AnalysisError,
+        )
+
+    @property
+    def m(self) -> int:
+        """``m = min(m_cua, M)`` of Theorem 4.7."""
+        return min(self.core_capacity_lines, self.partition_lines)
+
+
+def interference_factor(sharers: int, ways: int) -> int:
+    """``A = 2(n−1) · w · (n−1)`` of Theorem 4.7.
+
+    The number of periods for the distance of all ``w`` lines of the
+    target set to decay from ``n`` to 1, at the worst-case rate of one
+    guaranteed decrement per ``2(n−1)`` periods (Corollary 4.5).
+    """
+    require_positive(sharers, "sharers", AnalysisError)
+    require_positive(ways, "ways", AnalysisError)
+    return 2 * (sharers - 1) * ways * (sharers - 1)
+
+
+# ----------------------------------------------------------------------
+# Theorem 4.7: 1S-TDM, no set sequencer (NSS)
+# ----------------------------------------------------------------------
+def wcl_nss_slots(params: SharedPartitionParams) -> int:
+    """Theorem 4.7 bound in slots: ``(m + 1) · A · N + 1``."""
+    a = interference_factor(params.sharers, params.ways)
+    return (params.m + 1) * a * params.total_cores + 1
+
+
+def wcl_nss_cycles(params: SharedPartitionParams) -> int:
+    """Theorem 4.7 bound in cycles: ``((m + 1) · A · N + 1) · SW``."""
+    return wcl_nss_slots(params) * params.slot_width
+
+
+@dataclass(frozen=True)
+class NssBreakdown:
+    """The four parts of the Theorem 4.7 critical instance (Figure 5).
+
+    All values in slots.
+    """
+
+    #: (1) worst-case number of write-backs forced on the core: ``m``.
+    writebacks: int
+    #: (2) slots between two consecutive write-backs: ``A · N``.
+    slots_between_writebacks: int
+    #: (3) slots before the first write-back: ``A · N``.
+    slots_before_first: int
+    #: (4) slots after the last write-back, incl. the response: ``A·N + 1``.
+    slots_after_last: int
+    #: The total, ``(m + 1) · A · N + 1``.
+    total_slots: int
+
+
+def wcl_nss_breakdown(params: SharedPartitionParams) -> NssBreakdown:
+    """Decompose the Theorem 4.7 bound into its proof's four parts."""
+    a_slots = interference_factor(params.sharers, params.ways) * params.total_cores
+    m = params.m
+    total = (m - 1) * a_slots + a_slots + (a_slots + 1)
+    breakdown = NssBreakdown(
+        writebacks=m,
+        slots_between_writebacks=a_slots,
+        slots_before_first=a_slots,
+        slots_after_last=a_slots + 1,
+        total_slots=total,
+    )
+    # The proof's final algebra: (m−1)·AN + AN + (AN+1) = (m+1)·AN + 1.
+    assert breakdown.total_slots == wcl_nss_slots(params)
+    return breakdown
+
+
+# ----------------------------------------------------------------------
+# Theorem 4.8: with the set sequencer (SS)
+# ----------------------------------------------------------------------
+def wcl_ss_slots(params: SharedPartitionParams) -> int:
+    """Theorem 4.8 bound in slots: ``(2(n−1) · n + 1) · N``.
+
+    Independent of both the partition size ``M`` and the core's cache
+    capacity — the set sequencer's whole point.
+    """
+    n = params.sharers
+    return (2 * (n - 1) * n + 1) * params.total_cores
+
+
+def wcl_ss_cycles(params: SharedPartitionParams) -> int:
+    """Theorem 4.8 bound in cycles: ``(2(n−1) · n + 1) · N · SW``."""
+    return wcl_ss_slots(params) * params.slot_width
+
+
+# ----------------------------------------------------------------------
+# Private partition (P)
+# ----------------------------------------------------------------------
+def wcl_private_slots(total_cores: int) -> int:
+    """WCL in slots for a core with a private partition: ``2N + 1``.
+
+    No other core can touch the partition, so the worst case is: the
+    core's slot is consumed by its own pending write-back (one period to
+    come around again), the request issues in the next slot and misses
+    (the eviction is local and immediate — no other core must be waited
+    on), and the response arrives within that slot; waiting for the
+    first slot costs at most one more period.  ``(2N + 1) · SW``
+    reproduces the paper's 450 cycles for N = 4, SW = 50.
+    """
+    require_positive(total_cores, "total_cores", AnalysisError)
+    return 2 * total_cores + 1
+
+
+def wcl_private_cycles(total_cores: int, slot_width: int) -> int:
+    """Private-partition bound in cycles: ``(2N + 1) · SW``."""
+    require_positive(slot_width, "slot_width", AnalysisError)
+    return wcl_private_slots(total_cores) * slot_width
+
+
+# ----------------------------------------------------------------------
+# Dispatch and derived quantities
+# ----------------------------------------------------------------------
+def wcl_reduction_factor(params: SharedPartitionParams) -> float:
+    """How many times lower the SS bound is than the NSS bound.
+
+    The abstract's headline "2048 times lower" is this ratio for the
+    4-core, 16-way configuration (the exact value depends on ``m``; see
+    EXPERIMENTS.md for the computed values).
+    """
+    return wcl_nss_cycles(params) / wcl_ss_cycles(params)
+
+
+def analytical_wcl_cycles(
+    notation: PartitionNotation,
+    total_cores: int,
+    slot_width: int,
+    core_capacity_lines: int,
+) -> int:
+    """The analytical WCL for a Section 5 configuration string.
+
+    Dispatches on the notation kind: ``SS`` → Theorem 4.8, ``NSS`` →
+    Theorem 4.7, ``P`` → the private bound.
+    """
+    if notation.kind is PartitionKind.P:
+        return wcl_private_cycles(total_cores, slot_width)
+    params = SharedPartitionParams(
+        total_cores=total_cores,
+        sharers=notation.cores,
+        ways=notation.ways,
+        partition_lines=notation.sets * notation.ways,
+        core_capacity_lines=core_capacity_lines,
+        slot_width=slot_width,
+    )
+    if notation.kind is PartitionKind.SS:
+        return wcl_ss_cycles(params)
+    return wcl_nss_cycles(params)

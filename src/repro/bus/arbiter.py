@@ -1,0 +1,93 @@
+"""Arbitration between a core's PRB and PWB.
+
+Section 3 of the paper: "There is a predictable arbitration such as
+round-robin between PRB and PWB to choose from a request or a write-back
+to send on the bus at the beginning of the core's slot."  The analysis
+(Corollary 4.5) relies on the round-robin property that a core draining
+``k`` write-backs interleaved with request attempts uses at most
+``2k - 1`` of its own slots before a given write-back leaves.
+
+The arbiter is pluggable so ablation experiments can measure how the
+choice affects observed WCL:
+
+* ``ROUND_ROBIN`` — strict alternation whenever both buffers are
+  non-empty (the paper's policy, and the default);
+* ``WRITEBACK_FIRST`` — drain the PWB before any request (most
+  pessimistic for the requester);
+* ``REQUEST_FIRST`` — always retry the request first (starves
+  write-backs, and with it other cores' pending frees).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.common.errors import ConfigurationError
+from repro.common.types import TransactionKind
+
+
+class ArbitrationPolicy(enum.Enum):
+    """Which of PRB / PWB wins the core's slot when both are pending."""
+
+    ROUND_ROBIN = "round-robin"
+    WRITEBACK_FIRST = "writeback-first"
+    REQUEST_FIRST = "request-first"
+
+    @classmethod
+    def parse(cls, name: str) -> "ArbitrationPolicy":
+        """Parse a policy name (the enum value string)."""
+        for member in cls:
+            if member.value == name.lower():
+                return member
+        raise ConfigurationError(
+            f"unknown arbitration policy {name!r}; choose from "
+            f"{', '.join(member.value for member in cls)}"
+        )
+
+
+class PrbPwbArbiter:
+    """Per-core chooser between the pending request and write-backs."""
+
+    def __init__(self, policy: ArbitrationPolicy = ArbitrationPolicy.ROUND_ROBIN) -> None:
+        self.policy = policy
+        # Under round-robin, the kind preferred at the next contended
+        # slot.  Write-backs go first initially: a freshly filled core
+        # must push displaced dirty data before requesting more, which
+        # is also the worst case for the requester that the analysis
+        # assumes.
+        self._preferred: TransactionKind = TransactionKind.WRITE_BACK
+
+    def choose(
+        self,
+        has_request: bool,
+        has_writeback: bool,
+    ) -> Optional[TransactionKind]:
+        """Pick the transaction kind for this slot, or ``None`` if idle.
+
+        Round-robin state only advances when both kinds were available —
+        an uncontended grant does not consume the other kind's turn.
+        """
+        if not has_request and not has_writeback:
+            return None
+        if has_request and not has_writeback:
+            return TransactionKind.REQUEST
+        if has_writeback and not has_request:
+            return TransactionKind.WRITE_BACK
+
+        if self.policy is ArbitrationPolicy.WRITEBACK_FIRST:
+            return TransactionKind.WRITE_BACK
+        if self.policy is ArbitrationPolicy.REQUEST_FIRST:
+            return TransactionKind.REQUEST
+
+        granted = self._preferred
+        self._preferred = (
+            TransactionKind.REQUEST
+            if granted is TransactionKind.WRITE_BACK
+            else TransactionKind.WRITE_BACK
+        )
+        return granted
+
+    def reset(self) -> None:
+        """Restore the initial round-robin preference."""
+        self._preferred = TransactionKind.WRITE_BACK

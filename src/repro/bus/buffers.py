@@ -1,0 +1,153 @@
+"""Pending-request and pending-write-back buffers (PRB / PWB).
+
+Section 3 of the paper: before a core's request or write-back is placed
+on the bus, it waits in the core's PRB (requests) or PWB (write-backs).
+Each core has **at most one outstanding memory request**, so the PRB
+holds at most one entry; the PWB is a FIFO that accumulates the dirty
+lines the core must push to the LLC — both its own capacity evictions
+and the write-backs forced on it by inclusive LLC evictions
+(back-invalidations).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional
+
+from repro.common.errors import SimulationError
+from repro.common.types import AccessType, BlockAddress, CoreId, Cycle
+
+
+@dataclass
+class PendingRequest:
+    """The (single) outstanding LLC request of one core.
+
+    ``enqueued_at`` is when the L2 miss parked the request in the PRB;
+    ``first_on_bus_at`` is when the request was first broadcast (used by
+    the set sequencer, which records broadcast order); ``completed_at``
+    is filled when the LLC response arrives.  Observed latency for the
+    WCL experiments is ``completed_at - enqueued_at``.
+    """
+
+    core: CoreId
+    block: BlockAddress
+    access: AccessType
+    enqueued_at: Cycle
+    first_on_bus_at: Optional[Cycle] = None
+    completed_at: Optional[Cycle] = None
+    bus_attempts: int = 0
+    #: Whether the LLC served the request from a resident line (True)
+    #: or had to allocate and fetch from DRAM (False).
+    served_by_hit: bool = False
+
+    @property
+    def latency(self) -> Cycle:
+        """Completion latency in cycles; raises if not completed."""
+        if self.completed_at is None:
+            raise SimulationError("latency of an incomplete request")
+        return self.completed_at - self.enqueued_at
+
+
+class PendingRequestBuffer:
+    """PRB: capacity-one buffer for the core's outstanding request."""
+
+    def __init__(self, core: CoreId) -> None:
+        self.core = core
+        self._entry: Optional[PendingRequest] = None
+
+    @property
+    def entry(self) -> Optional[PendingRequest]:
+        """The outstanding request, if any."""
+        return self._entry
+
+    @property
+    def is_empty(self) -> bool:
+        return self._entry is None
+
+    def push(self, request: PendingRequest) -> None:
+        """Park a new request; the PRB must be empty.
+
+        A second outstanding request violates the one-outstanding-
+        request assumption of the system model and indicates a core
+        model bug.
+        """
+        if self._entry is not None:
+            raise SimulationError(
+                f"core {self.core}: PRB already holds a request for block "
+                f"{self._entry.block:#x}; one outstanding request allowed"
+            )
+        if request.core != self.core:
+            raise SimulationError(
+                f"request for core {request.core} pushed into core {self.core}'s PRB"
+            )
+        self._entry = request
+
+    def pop(self) -> PendingRequest:
+        """Remove and return the outstanding request."""
+        if self._entry is None:
+            raise SimulationError(f"core {self.core}: pop from empty PRB")
+        entry = self._entry
+        self._entry = None
+        return entry
+
+
+class WritebackReason(enum.Enum):
+    """Why a write-back entered the PWB."""
+
+    #: The core's own L2 displaced a dirty line while filling.
+    CAPACITY = "capacity"
+    #: The LLC evicted a line this core cached dirty (inclusive
+    #: back-invalidation); the LLC entry stays PENDING_EVICT until this
+    #: write-back reaches the LLC.
+    BACK_INVALIDATION = "back-invalidation"
+
+
+@dataclass
+class WritebackEntry:
+    """One dirty line waiting to be written back over the bus."""
+
+    core: CoreId
+    block: BlockAddress
+    reason: WritebackReason
+    enqueued_at: Cycle
+
+
+class PendingWritebackBuffer:
+    """PWB: FIFO of the core's pending write-backs."""
+
+    def __init__(self, core: CoreId) -> None:
+        self.core = core
+        self._entries: Deque[WritebackEntry] = deque()
+        self.max_occupancy = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._entries
+
+    def push(self, entry: WritebackEntry) -> None:
+        """Append a write-back to the FIFO."""
+        if entry.core != self.core:
+            raise SimulationError(
+                f"write-back for core {entry.core} pushed into core {self.core}'s PWB"
+            )
+        self._entries.append(entry)
+        self.max_occupancy = max(self.max_occupancy, len(self._entries))
+
+    def pop(self) -> WritebackEntry:
+        """Remove and return the oldest write-back."""
+        if not self._entries:
+            raise SimulationError(f"core {self.core}: pop from empty PWB")
+        return self._entries.popleft()
+
+    def peek(self) -> Optional[WritebackEntry]:
+        """The oldest write-back without removing it."""
+        return self._entries[0] if self._entries else None
+
+    def blocks(self) -> list[BlockAddress]:
+        """Blocks currently queued, oldest first."""
+        return [entry.block for entry in self._entries]

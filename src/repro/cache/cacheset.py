@@ -1,0 +1,109 @@
+"""One set of a private set-associative cache.
+
+Stores up to ``ways`` lines, keyed by block address for O(1) lookup,
+with way slots managed explicitly so replacement policies can reason in
+way indices (as real hardware does).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cache.line import CacheLine, EvictedLine
+from repro.cache.replacement import ReplacementPolicy
+from repro.common.errors import SimulationError
+from repro.common.types import BlockAddress
+
+
+class CacheSet:
+    """A single cache set with explicit way slots.
+
+    The set does not know its own index within the cache; the enclosing
+    cache handles address decomposition and passes block addresses down.
+    """
+
+    def __init__(self, ways: int, policy: ReplacementPolicy) -> None:
+        if policy.ways != ways:
+            raise SimulationError(
+                f"policy manages {policy.ways} ways but set has {ways}"
+            )
+        self.ways = ways
+        self.policy = policy
+        self._slots: List[Optional[CacheLine]] = [None] * ways
+        self._index: Dict[BlockAddress, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    @property
+    def is_full(self) -> bool:
+        """Whether every way holds a valid line."""
+        return len(self._index) == self.ways
+
+    def resident_blocks(self) -> List[BlockAddress]:
+        """Block addresses currently stored in this set."""
+        return list(self._index)
+
+    def find(self, block: BlockAddress) -> Optional[CacheLine]:
+        """Return the line for ``block`` without touching policy state."""
+        way = self._index.get(block)
+        return None if way is None else self._slots[way]
+
+    def touch(self, block: BlockAddress, is_write: bool) -> bool:
+        """Record a hit on ``block``; returns False if it is absent."""
+        way = self._index.get(block)
+        if way is None:
+            return False
+        line = self._slots[way]
+        assert line is not None
+        if is_write:
+            line.dirty = True
+        self.policy.on_access(way)
+        return True
+
+    def fill(self, block: BlockAddress, dirty: bool) -> Optional[EvictedLine]:
+        """Install ``block``; returns the displaced line, if any.
+
+        Filling a block that is already resident is a simulator bug (the
+        caller should have hit), so it raises :class:`SimulationError`.
+        """
+        if block in self._index:
+            raise SimulationError(f"fill of already-resident block {block:#x}")
+        evicted: Optional[EvictedLine] = None
+        way = self._free_way()
+        if way is None:
+            way = self.policy.victim(list(range(self.ways)))
+            victim = self._slots[way]
+            assert victim is not None
+            evicted = EvictedLine(block=victim.block, dirty=victim.dirty)
+            del self._index[victim.block]
+            self.policy.on_invalidate(way)
+        self._slots[way] = CacheLine(block=block, dirty=dirty)
+        self._index[block] = way
+        self.policy.on_fill(way)
+        return evicted
+
+    def invalidate(self, block: BlockAddress) -> Optional[EvictedLine]:
+        """Remove ``block`` if present; returns what was removed."""
+        way = self._index.pop(block, None)
+        if way is None:
+            return None
+        line = self._slots[way]
+        assert line is not None
+        self._slots[way] = None
+        self.policy.on_invalidate(way)
+        return EvictedLine(block=line.block, dirty=line.dirty)
+
+    def mark_clean(self, block: BlockAddress) -> bool:
+        """Clear the dirty bit of ``block``; returns False if absent."""
+        line = self.find(block)
+        if line is None:
+            return False
+        line.dirty = False
+        return True
+
+    def _free_way(self) -> Optional[int]:
+        for way, line in enumerate(self._slots):
+            if line is None:
+                return way
+        return None

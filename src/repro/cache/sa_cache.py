@@ -1,0 +1,136 @@
+"""A generic set-associative cache for the private levels (L1, L2).
+
+The cache works in *block addresses* — the enclosing private stack
+translates byte addresses once, at the L1 boundary.  Fill, touch and
+invalidate are separate operations because in the paper's model a miss
+does not fill immediately: the fill happens when the LLC response
+arrives in the core's bus slot, possibly hundreds of cycles later.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.cache.cacheset import CacheSet
+from repro.cache.line import CacheLine, EvictedLine
+from repro.cache.replacement import OraclePolicy, make_policy
+from repro.cache.stats import CacheStats
+from repro.common.errors import GeometryError
+from repro.common.types import BlockAddress
+from repro.common.validation import require_power_of_two
+
+
+class SetAssociativeCache:
+    """Set-associative cache over block addresses.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier used in stats and event logs
+        (for example ``"core0.L2"``).
+    num_sets, ways:
+        Geometry; ``num_sets`` must be a power of two so the set index
+        is a bit-field of the block address.
+    policy:
+        Replacement policy name accepted by
+        :func:`repro.cache.replacement.make_policy`.
+    rng:
+        Seeded stream threaded into stochastic policies.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        num_sets: int,
+        ways: int,
+        policy: str = "lru",
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        require_power_of_two(num_sets, "num_sets", GeometryError)
+        if ways <= 0:
+            raise GeometryError(f"ways must be positive, got {ways}")
+        self.name = name
+        self.num_sets = num_sets
+        self.ways = ways
+        self.policy_name = policy
+        self.stats = CacheStats()
+        self._sets: List[CacheSet] = []
+        for set_index in range(num_sets):
+            set_policy = make_policy(policy, ways, rng)
+            if isinstance(set_policy, OraclePolicy):
+                set_policy.bind_set(set_index)
+            self._sets.append(CacheSet(ways, set_policy))
+
+    @property
+    def capacity_lines(self) -> int:
+        """Total number of lines the cache can hold."""
+        return self.num_sets * self.ways
+
+    def set_index(self, block: BlockAddress) -> int:
+        """Set index of a block address."""
+        return block & (self.num_sets - 1)
+
+    def set_for(self, block: BlockAddress) -> CacheSet:
+        """The set a block maps to."""
+        return self._sets[self.set_index(block)]
+
+    def contains(self, block: BlockAddress) -> bool:
+        """Whether ``block`` is resident (no policy side effects)."""
+        return self.set_for(block).find(block) is not None
+
+    def is_dirty(self, block: BlockAddress) -> bool:
+        """Whether ``block`` is resident and dirty."""
+        line = self.set_for(block).find(block)
+        return line is not None and line.dirty
+
+    def access(self, block: BlockAddress, is_write: bool) -> bool:
+        """Look up ``block``; on a hit, update recency (and dirtiness).
+
+        Returns True on hit.  Misses only bump counters — the caller
+        decides when (and whether) to fill.
+        """
+        self.stats.accesses += 1
+        if self.set_for(block).touch(block, is_write):
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        return False
+
+    def fill(self, block: BlockAddress, dirty: bool) -> Optional[EvictedLine]:
+        """Install ``block``, returning any displaced line."""
+        evicted = self.set_for(block).fill(block, dirty)
+        self.stats.fills += 1
+        if evicted is not None:
+            self.stats.evictions += 1
+            if evicted.dirty:
+                self.stats.dirty_evictions += 1
+        return evicted
+
+    def invalidate(self, block: BlockAddress) -> Optional[EvictedLine]:
+        """Remove ``block`` (inclusive back-invalidation), if present."""
+        removed = self.set_for(block).invalidate(block)
+        if removed is not None:
+            self.stats.invalidations += 1
+            if removed.dirty:
+                self.stats.dirty_invalidations += 1
+        return removed
+
+    def mark_clean(self, block: BlockAddress) -> bool:
+        """Clear ``block``'s dirty bit (after its data was written back)."""
+        return self.set_for(block).mark_clean(block)
+
+    def resident_blocks(self) -> List[BlockAddress]:
+        """All block addresses currently resident, set by set."""
+        blocks: List[BlockAddress] = []
+        for cache_set in self._sets:
+            blocks.extend(cache_set.resident_blocks())
+        return blocks
+
+    def occupancy(self) -> int:
+        """Number of valid lines currently resident."""
+        return sum(len(cache_set) for cache_set in self._sets)
+
+    def find(self, block: BlockAddress) -> Optional[CacheLine]:
+        """The resident line record for ``block``, if any."""
+        return self.set_for(block).find(block)

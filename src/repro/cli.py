@@ -1,0 +1,377 @@
+"""Command-line interface: ``python -m repro`` or ``repro-llc``.
+
+Subcommands
+-----------
+``fig7``
+    Reproduce Figure 7 (observed vs analytical WCL for SS/NSS/P).
+``fig8``
+    Reproduce one Figure 8 sub-figure (execution time at fixed total
+    partition capacity).
+``bounds``
+    Print the analytical WCL bounds for a configuration notation.
+``unbounded``
+    Run the Section 4.1 starvation witness.
+``simulate``
+    Run one configuration notation against a named workload suite and
+    print (optionally export) the report.
+``workload``
+    Materialise a named workload suite to trace files on disk.
+``timeline``
+    Run a short simulation and render the ASCII slot timeline.
+``tightness``
+    Probe how close adversarial steering gets to the bounds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.unbounded import starvation_witness
+from repro.analysis.wcl import analytical_wcl_cycles
+from repro.experiments.configs import PAPER_CORE_CAPACITY_LINES
+from repro.experiments.fig7 import run_fig7
+from repro.experiments.fig8 import SUBFIGURES, run_fig8
+from repro.experiments.tables import render_table
+from repro.llc.partition import PartitionNotation
+from repro.sim.config import PAPER_SLOT_WIDTH
+
+
+def _cmd_fig7(args: argparse.Namespace) -> int:
+    result = run_fig7(
+        num_requests=args.requests, seed=args.seed, adversarial=args.adversarial
+    )
+    print(result.render())
+    if not result.all_within_bounds():
+        print("ERROR: an observed WCL exceeded its analytical bound", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_fig8(args: argparse.Namespace) -> int:
+    result = run_fig8(args.subfigure, num_requests=args.requests, seed=args.seed)
+    print(result.render())
+    print(
+        f"\naverage SS speedup vs P:   {result.average_speedup_vs_p():.2f}x"
+        f"\naverage SS speedup vs NSS: {result.average_speedup_vs_nss():.2f}x"
+    )
+    return 0
+
+
+def _cmd_bounds(args: argparse.Namespace) -> int:
+    notation = PartitionNotation.parse(args.notation)
+    cycles = analytical_wcl_cycles(
+        notation,
+        total_cores=args.cores,
+        slot_width=args.slot_width,
+        core_capacity_lines=args.capacity_lines,
+    )
+    print(
+        render_table(
+            headers=["notation", "N", "SW", "WCL (cycles)", "WCL (slots)"],
+            rows=[[str(notation), args.cores, args.slot_width, cycles,
+                   cycles // args.slot_width]],
+            title="Analytical worst-case latency",
+        )
+    )
+    return 0
+
+
+def _cmd_unbounded(args: argparse.Namespace) -> int:
+    result = starvation_witness(
+        stream_lengths=tuple(args.lengths), ways=args.ways
+    )
+    rows = [
+        [length, multi, one]
+        for length, multi, one in zip(
+            result.stream_lengths,
+            result.multi_slot_latencies,
+            result.one_slot_latencies,
+        )
+    ]
+    print(
+        render_table(
+            headers=["interferer stream", "multi-slot TDM latency", "1S-TDM latency"],
+            rows=rows,
+            title="Section 4.1 witness: victim latency (cycles)",
+        )
+    )
+    print(
+        f"\nmulti-slot latency grows with the stream: {result.multi_slot_growth}"
+        f"\n1S-TDM latency bounded by Theorem 4.7 "
+        f"({result.one_slot_bound_cycles} cycles): {result.one_slot_bounded}"
+    )
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.experiments.configs import build_system_for_notation
+    from repro.sim.export import (
+        core_latency_stats,
+        write_report_json,
+        write_requests_csv,
+    )
+    from repro.sim.simulator import simulate
+    from repro.workloads.suites import get_suite
+
+    config = build_system_for_notation(args.notation, num_cores=args.cores)
+    suite = get_suite(args.suite)
+    traces = suite.build(
+        num_cores=args.cores,
+        num_requests=args.requests,
+        address_range=args.range,
+        seed=args.seed,
+    )
+    report = simulate(config, traces)
+    rows = []
+    for core in range(args.cores):
+        core_report = report.core_reports[core]
+        rows.append(
+            [
+                f"core {core}",
+                core_report.requests,
+                core_report.observed_wcl,
+                f"{core_report.mean_latency:.0f}",
+                core_report.finish_time,
+            ]
+        )
+    print(
+        render_table(
+            ["core", "LLC requests", "observed WCL", "mean latency", "finish"],
+            rows,
+            title=f"{args.notation} on suite {args.suite!r}",
+        )
+    )
+    if report.requests:
+        stats = core_latency_stats(report)
+        print(
+            f"\nlatency p50/p90/p99/max: {stats.p50}/{stats.p90}/"
+            f"{stats.p99}/{stats.maximum} cycles over {stats.count} requests"
+        )
+    if args.json:
+        write_report_json(report, args.json)
+        print(f"report written to {args.json}")
+    if args.csv:
+        write_requests_csv(report, args.csv)
+        print(f"per-request CSV written to {args.csv}")
+    if report.timed_out:
+        print("WARNING: simulation hit the slot cap", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_workload(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.workloads.suites import get_suite, suite_names
+    from repro.workloads.trace import write_trace
+
+    if args.list:
+        for name in suite_names():
+            print(f"{name:10} {get_suite(name).description}")
+        return 0
+    suite = get_suite(args.suite)
+    traces = suite.build(
+        num_cores=args.cores,
+        num_requests=args.requests,
+        address_range=args.range,
+        seed=args.seed,
+    )
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for core, trace in sorted(traces.items()):
+        path = out_dir / f"{args.suite}-core{core}.trace"
+        write_trace(trace, path)
+        print(f"wrote {len(trace)} records to {path}")
+    return 0
+
+
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from repro.experiments.configs import build_system_for_notation
+    from repro.sim.simulator import Simulator
+    from repro.sim.timeline import render_timeline
+    from repro.workloads.suites import get_suite
+
+    config = dataclasses.replace(
+        build_system_for_notation(args.notation, num_cores=args.cores),
+        record_events=True,
+    )
+    traces = get_suite(args.suite).build(
+        num_cores=args.cores,
+        num_requests=args.requests,
+        address_range=args.range,
+        seed=args.seed,
+    )
+    sim = Simulator(config, traces)
+    report = sim.run()
+    print(
+        render_timeline(
+            report.events,
+            sim.system.schedule,
+            num_cores=args.cores,
+            start_slot=args.start_slot,
+            num_slots=args.slots,
+        )
+    )
+    return 0
+
+
+def _cmd_tightness(args: argparse.Namespace) -> int:
+    from repro.experiments.tightness import run_tightness
+
+    result = run_tightness(repeats=args.repeats)
+    print(result.render())
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.experiments.compare import compare_notations
+
+    result = compare_notations(
+        args.notations,
+        suite=args.suite,
+        num_cores=args.cores,
+        num_requests=args.requests,
+        address_range=args.range,
+        seed=args.seed,
+    )
+    print(result.render())
+    print(
+        f"\nfastest: {result.fastest().notation}; "
+        f"lowest observed WCL: {result.lowest_wcl().notation}"
+    )
+    return 0
+
+
+def _cmd_all(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import run_all
+
+    result = run_all(
+        out_dir=args.out,
+        num_requests=args.requests,
+        progress=print,
+    )
+    print("\n" + result.summary())
+    print(f"\nartifacts written to {args.out}/")
+    return 0 if result.all_passed else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-llc",
+        description="Predictable sharing of LLC partitions (DAC 2022) — "
+        "reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fig7 = sub.add_parser("fig7", help="reproduce Figure 7 (WCL)")
+    fig7.add_argument("--requests", type=int, default=400)
+    fig7.add_argument("--seed", type=int, default=2022)
+    fig7.add_argument(
+        "--adversarial",
+        action="store_true",
+        help="steer replacement/arbitration toward the worst case "
+        "(separates NSS from SS at every range)",
+    )
+    fig7.set_defaults(func=_cmd_fig7)
+
+    fig8 = sub.add_parser("fig8", help="reproduce a Figure 8 sub-figure")
+    fig8.add_argument("subfigure", choices=sorted(SUBFIGURES))
+    fig8.add_argument("--requests", type=int, default=2000)
+    fig8.add_argument("--seed", type=int, default=2022)
+    fig8.set_defaults(func=_cmd_fig8)
+
+    bounds = sub.add_parser("bounds", help="print analytical WCL bounds")
+    bounds.add_argument("notation", help="e.g. SS(1,16,4), NSS(2,16,4), P(1,16)")
+    bounds.add_argument("--cores", type=int, default=4)
+    bounds.add_argument("--slot-width", type=int, default=PAPER_SLOT_WIDTH)
+    bounds.add_argument(
+        "--capacity-lines", type=int, default=PAPER_CORE_CAPACITY_LINES
+    )
+    bounds.set_defaults(func=_cmd_bounds)
+
+    unbounded = sub.add_parser(
+        "unbounded", help="run the Section 4.1 starvation witness"
+    )
+    unbounded.add_argument(
+        "--lengths", type=int, nargs="+", default=[50, 100, 200]
+    )
+    unbounded.add_argument("--ways", type=int, default=4)
+    unbounded.set_defaults(func=_cmd_unbounded)
+
+    def add_workload_args(sub_parser: argparse.ArgumentParser) -> None:
+        sub_parser.add_argument("--cores", type=int, default=4)
+        sub_parser.add_argument("--requests", type=int, default=300)
+        sub_parser.add_argument("--range", type=int, default=4096)
+        sub_parser.add_argument("--seed", type=int, default=2022)
+
+    simulate_cmd = sub.add_parser(
+        "simulate", help="run a notation against a workload suite"
+    )
+    simulate_cmd.add_argument("notation", help="e.g. SS(1,16,4)")
+    simulate_cmd.add_argument("--suite", default="fig7")
+    add_workload_args(simulate_cmd)
+    simulate_cmd.add_argument("--json", help="write the aggregate report here")
+    simulate_cmd.add_argument("--csv", help="write per-request records here")
+    simulate_cmd.set_defaults(func=_cmd_simulate)
+
+    workload_cmd = sub.add_parser(
+        "workload", help="dump a named workload suite to trace files"
+    )
+    workload_cmd.add_argument("suite", nargs="?", default="fig7")
+    workload_cmd.add_argument("--list", action="store_true", help="list suites")
+    add_workload_args(workload_cmd)
+    workload_cmd.add_argument("--out", default="traces")
+    workload_cmd.set_defaults(func=_cmd_workload)
+
+    timeline_cmd = sub.add_parser(
+        "timeline", help="render an ASCII slot timeline of a short run"
+    )
+    timeline_cmd.add_argument("notation", nargs="?", default="SS(1,16,4)")
+    timeline_cmd.add_argument("--suite", default="storm")
+    add_workload_args(timeline_cmd)
+    timeline_cmd.set_defaults(requests=60)
+    timeline_cmd.add_argument("--start-slot", type=int, default=0)
+    timeline_cmd.add_argument("--slots", type=int, default=80)
+    timeline_cmd.set_defaults(func=_cmd_timeline)
+
+    tightness_cmd = sub.add_parser(
+        "tightness", help="probe bound tightness with adversarial steering"
+    )
+    tightness_cmd.add_argument("--repeats", type=int, default=40)
+    tightness_cmd.set_defaults(func=_cmd_tightness)
+
+    all_cmd = sub.add_parser(
+        "all", help="regenerate every artifact into a results directory"
+    )
+    all_cmd.add_argument("--out", default="results")
+    all_cmd.add_argument("--requests", type=int, default=300)
+    all_cmd.set_defaults(func=_cmd_all)
+
+    compare_cmd = sub.add_parser(
+        "compare", help="compare partition configurations on one workload"
+    )
+    compare_cmd.add_argument(
+        "notations", nargs="+", help="e.g. SS(2,16,4) NSS(2,16,4) P(1,16)"
+    )
+    compare_cmd.add_argument("--suite", default="fig7")
+    add_workload_args(compare_cmd)
+    compare_cmd.set_defaults(func=_cmd_compare)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

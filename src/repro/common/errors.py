@@ -1,0 +1,59 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one base class.  The subclasses partition failures by
+the subsystem that detected them, which keeps error handling in the
+experiment harnesses explicit about what went wrong.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A system, workload or experiment configuration is invalid."""
+
+
+class GeometryError(ConfigurationError):
+    """A cache geometry (sets / ways / line size) is malformed."""
+
+
+class ScheduleError(ConfigurationError):
+    """A TDM schedule is malformed or violates a required property.
+
+    Raised, for example, when a 1S-TDM schedule (Definition 4.1 of the
+    paper) is requested but the provided slot assignment gives some core
+    more than one slot per period.
+    """
+
+
+class PartitionError(ConfigurationError):
+    """An LLC partition specification is malformed or inconsistent.
+
+    Covers overlapping partitions, partitions that exceed the physical
+    LLC geometry, and cores assigned to no (or more than one) partition.
+    """
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent state.
+
+    This always indicates a bug in the model (an invariant such as
+    inclusivity or one-outstanding-request was violated), never a bad
+    user input; bad inputs raise :class:`ConfigurationError` up front.
+    """
+
+
+class TraceError(ReproError):
+    """A memory trace is malformed or cannot be parsed."""
+
+
+class AnalysisError(ReproError):
+    """A worst-case latency analysis was asked an unanswerable question.
+
+    For example, requesting a finite WCL bound for a non-1S-TDM schedule
+    where the paper proves the latency is unbounded (Section 4.1).
+    """

@@ -1,0 +1,32 @@
+"""Small integer helpers used by cache geometry and schedule math."""
+
+from __future__ import annotations
+
+
+def is_power_of_two(value: int) -> bool:
+    """Whether ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def ilog2(value: int) -> int:
+    """Exact integer log base 2 of a power of two.
+
+    >>> ilog2(64)
+    6
+    """
+    if not is_power_of_two(value):
+        raise ValueError(f"ilog2 requires a positive power of two, got {value}")
+    return value.bit_length() - 1
+
+
+def ceil_div(numerator: int, denominator: int) -> int:
+    """Ceiling integer division for non-negative numerators.
+
+    >>> ceil_div(7, 2)
+    4
+    """
+    if denominator <= 0:
+        raise ValueError(f"denominator must be positive, got {denominator}")
+    if numerator < 0:
+        raise ValueError(f"numerator must be non-negative, got {numerator}")
+    return -(-numerator // denominator)

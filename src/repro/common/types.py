@@ -1,0 +1,80 @@
+"""Common enumerations and type aliases.
+
+The aliases exist to make signatures self-describing: a ``CoreId`` is an
+``int`` index into the system's core list, a ``Cycle`` is an absolute
+simulation time in clock cycles, and a ``SlotIndex`` is an absolute bus
+slot number (slot ``k`` spans cycles ``[k*SW, (k+1)*SW)``).
+"""
+
+from __future__ import annotations
+
+import enum
+
+# Index of a core in the system (0-based).
+CoreId = int
+
+# Absolute simulation time, in clock cycles.
+Cycle = int
+
+# Absolute bus slot number since simulation start.
+SlotIndex = int
+
+# A physical byte address.
+Address = int
+
+# A cache block (line) address: ``address // line_size``.
+BlockAddress = int
+
+
+class AccessType(enum.Enum):
+    """Kind of memory access issued by a core."""
+
+    READ = "R"
+    WRITE = "W"
+    INSTR = "I"
+
+    @property
+    def is_write(self) -> bool:
+        """Whether this access dirties the touched cache line."""
+        return self is AccessType.WRITE
+
+    @property
+    def is_instruction(self) -> bool:
+        """Whether this access targets the L1 instruction cache."""
+        return self is AccessType.INSTR
+
+    @classmethod
+    def from_token(cls, token: str) -> "AccessType":
+        """Parse a one-letter trace token (``R``/``W``/``I``)."""
+        try:
+            return cls(token.upper())
+        except ValueError:
+            raise ValueError(f"unknown access type token: {token!r}") from None
+
+
+class EntryState(enum.Enum):
+    """Lifecycle of one LLC entry (a way within a set).
+
+    The three-state lifecycle is the heart of the paper's model of an
+    inclusive LLC behind a TDM bus:
+
+    * ``FREE`` — the entry holds no line and may be allocated.
+    * ``VALID`` — the entry holds a line; it may also be cached privately
+      by one or more cores (tracked by the owner directory).
+    * ``PENDING_EVICT`` — the LLC selected this entry's line as a victim,
+      but a core still holds a *dirty* private copy.  The entry cannot be
+      reused until that core spends one of its bus slots writing the line
+      back (Section 3, "an eviction in the LLC would force evictions in
+      the private caches"; Figure 2 step 2).
+    """
+
+    FREE = "free"
+    VALID = "valid"
+    PENDING_EVICT = "pending-evict"
+
+
+class TransactionKind(enum.Enum):
+    """Kind of bus transaction an L2 controller can start in its slot."""
+
+    REQUEST = "request"
+    WRITE_BACK = "write-back"

@@ -1,0 +1,67 @@
+"""Byte-size parsing and formatting.
+
+Experiment configurations in the paper are stated in bytes ("4096-byte
+partition", "64-byte cache line", "address range of 2048-byte").  These
+helpers let configuration files and CLI flags use human-readable forms
+such as ``"4KiB"`` while the library works in plain integers.
+"""
+
+from __future__ import annotations
+
+import re
+
+_UNIT_FACTORS = {
+    "": 1,
+    "b": 1,
+    "k": 1024,
+    "kb": 1024,
+    "kib": 1024,
+    "m": 1024**2,
+    "mb": 1024**2,
+    "mib": 1024**2,
+    "g": 1024**3,
+    "gb": 1024**3,
+    "gib": 1024**3,
+}
+
+_SIZE_RE = re.compile(r"^\s*(\d+)\s*([a-zA-Z]*)\s*$")
+
+
+def parse_bytes(text: str | int) -> int:
+    """Parse a byte size such as ``"4KiB"``, ``"64"`` or ``4096``.
+
+    Integers pass through unchanged.  Units are case-insensitive and use
+    binary (1024-based) factors, matching how cache sizes are quoted.
+
+    >>> parse_bytes("4KiB")
+    4096
+    >>> parse_bytes("64")
+    64
+    """
+    if isinstance(text, int):
+        if text < 0:
+            raise ValueError(f"byte size must be non-negative, got {text}")
+        return text
+    match = _SIZE_RE.match(text)
+    if not match:
+        raise ValueError(f"cannot parse byte size: {text!r}")
+    value, unit = match.groups()
+    factor = _UNIT_FACTORS.get(unit.lower())
+    if factor is None:
+        raise ValueError(f"unknown byte-size unit {unit!r} in {text!r}")
+    return int(value) * factor
+
+
+def format_bytes(size: int) -> str:
+    """Format a byte count compactly (``4096`` -> ``"4KiB"``).
+
+    Sizes that are not whole multiples of a binary unit are returned in
+    plain bytes so the output always round-trips through
+    :func:`parse_bytes` without loss.
+    """
+    if size < 0:
+        raise ValueError(f"byte size must be non-negative, got {size}")
+    for factor, suffix in ((1024**3, "GiB"), (1024**2, "MiB"), (1024, "KiB")):
+        if size >= factor and size % factor == 0:
+            return f"{size // factor}{suffix}"
+    return f"{size}B"

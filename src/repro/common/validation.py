@@ -1,0 +1,76 @@
+"""Argument validation helpers.
+
+The simulator's public constructors validate eagerly so that a bad
+configuration fails at build time with a :class:`ConfigurationError`
+rather than corrupting a simulation hours in.  These helpers keep those
+checks one-liners at the call sites.
+"""
+
+from __future__ import annotations
+
+from typing import Type
+
+from repro.common.errors import ConfigurationError
+from repro.common.intmath import is_power_of_two
+
+
+def require(
+    condition: bool,
+    message: str,
+    error: Type[Exception] = ConfigurationError,
+) -> None:
+    """Raise ``error(message)`` unless ``condition`` holds."""
+    if not condition:
+        raise error(message)
+
+
+def require_positive(
+    value: int,
+    name: str,
+    error: Type[Exception] = ConfigurationError,
+) -> int:
+    """Validate that ``value`` is a positive integer and return it."""
+    if not isinstance(value, int) or isinstance(value, bool) or value <= 0:
+        raise error(f"{name} must be a positive integer, got {value!r}")
+    return value
+
+
+def require_non_negative(
+    value: int,
+    name: str,
+    error: Type[Exception] = ConfigurationError,
+) -> int:
+    """Validate that ``value`` is a non-negative integer and return it."""
+    if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+        raise error(f"{name} must be a non-negative integer, got {value!r}")
+    return value
+
+
+def require_power_of_two(
+    value: int,
+    name: str,
+    error: Type[Exception] = ConfigurationError,
+) -> int:
+    """Validate that ``value`` is a positive power of two and return it."""
+    require_positive(value, name, error)
+    if not is_power_of_two(value):
+        raise error(f"{name} must be a power of two, got {value}")
+    return value
+
+
+def require_in_range(
+    value: int,
+    low: int,
+    high: int,
+    name: str,
+    error: Type[Exception] = ConfigurationError,
+) -> int:
+    """Validate that ``low <= value <= high`` and return ``value``."""
+    require(
+        isinstance(value, int) and not isinstance(value, bool),
+        f"{name} must be an integer, got {value!r}",
+        error,
+    )
+    if not low <= value <= high:
+        raise error(f"{name} must be in [{low}, {high}], got {value}")
+    return value

@@ -1,0 +1,147 @@
+"""The trace-driven core model.
+
+A core replays a memory trace: each record is a byte address plus an
+access type.  Private hits complete at fixed latencies; an L2 miss
+blocks the core (at most one outstanding request, Section 3) until the
+slot engine delivers the LLC response.  The core keeps its own local
+clock, which the engine advances up to each bus-slot boundary.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.common.errors import SimulationError
+from repro.common.types import AccessType, BlockAddress, CoreId, Cycle
+from repro.cpu.private_stack import PrivateStack
+from repro.mem.address import AddressGeometry
+from repro.workloads.trace import MemoryTrace
+
+
+class CoreState(enum.Enum):
+    """Execution state of a trace-driven core."""
+
+    RUNNING = "running"
+    BLOCKED = "blocked"
+    DONE = "done"
+
+
+@dataclass(frozen=True)
+class MissInfo:
+    """An L2 miss the core needs the bus for."""
+
+    core: CoreId
+    block: BlockAddress
+    access: AccessType
+    at_cycle: Cycle
+
+
+class TraceDrivenCore:
+    """Replays one memory trace through a private stack."""
+
+    def __init__(
+        self,
+        core_id: CoreId,
+        stack: PrivateStack,
+        trace: MemoryTrace,
+        line_size: int,
+        start_cycle: Cycle = 0,
+    ) -> None:
+        if start_cycle < 0:
+            raise SimulationError(
+                f"core {core_id}: start_cycle must be non-negative, got {start_cycle}"
+            )
+        self.core_id = core_id
+        self.stack = stack
+        self.trace = trace
+        self.geometry = AddressGeometry(line_size=line_size, num_sets=1)
+        self.state = CoreState.RUNNING if len(trace) else CoreState.DONE
+        self.time: Cycle = start_cycle
+        self.position = 0
+        # Whether the current record's compute gap has been consumed
+        # (the gap applies once, even if the access then blocks).
+        self._gap_applied = False
+        self.finish_time: Optional[Cycle] = (
+            start_cycle if self.state is CoreState.DONE else None
+        )
+        self.private_hits = 0
+        self.llc_requests = 0
+
+    @property
+    def done(self) -> bool:
+        """Whether the trace has been fully replayed."""
+        return self.state is CoreState.DONE
+
+    @property
+    def blocked(self) -> bool:
+        """Whether the core waits for an LLC response."""
+        return self.state is CoreState.BLOCKED
+
+    def advance(self, until: Cycle) -> Optional[MissInfo]:
+        """Run private-hit execution while ``time < until``.
+
+        Returns the first L2 miss encountered (leaving the core
+        ``BLOCKED`` at the miss cycle), or ``None`` if the core ran out
+        of trace or reached ``until`` on private hits alone.
+        """
+        if self.state is not CoreState.RUNNING:
+            return None
+        while self.time < until:
+            if self.position >= len(self.trace):
+                self._finish()
+                return None
+            record = self.trace[self.position]
+            if not self._gap_applied:
+                self._gap_applied = True
+                if record.compute_cycles:
+                    # Think time before the access; re-check the horizon
+                    # so a long computation does not overshoot it.
+                    self.time += record.compute_cycles
+                    continue
+            block = self.geometry.block_of(record.address)
+            result = self.stack.access(block, record.access)
+            if result.hit_level is not None:
+                self.private_hits += 1
+                self.time += result.latency
+                self.position += 1
+                self._gap_applied = False
+                continue
+            # L2 miss: the core blocks at the current cycle; the engine
+            # parks the request in the PRB and wakes us on the response.
+            self.state = CoreState.BLOCKED
+            self.llc_requests += 1
+            return MissInfo(
+                core=self.core_id,
+                block=block,
+                access=record.access,
+                at_cycle=self.time,
+            )
+        return None
+
+    def resume(self, response_cycle: Cycle) -> None:
+        """Deliver the LLC response: the blocked access completes.
+
+        The engine has already filled the private stack; the core just
+        accounts time and moves to the next trace record.
+        """
+        if self.state is not CoreState.BLOCKED:
+            raise SimulationError(
+                f"core {self.core_id}: resume while {self.state.value}"
+            )
+        if response_cycle < self.time:
+            raise SimulationError(
+                f"core {self.core_id}: response at cycle {response_cycle} "
+                f"before the miss at cycle {self.time}"
+            )
+        self.time = response_cycle
+        self.position += 1
+        self._gap_applied = False
+        self.state = CoreState.RUNNING
+        if self.position >= len(self.trace):
+            self._finish()
+
+    def _finish(self) -> None:
+        self.state = CoreState.DONE
+        self.finish_time = self.time

@@ -1,0 +1,236 @@
+"""A core's private cache stack: L1I + L1D over a unified L2.
+
+The stack maintains the inclusive discipline the paper's system model
+requires (Section 3): the L2 is inclusive of both L1s, and the enclosing
+LLC is inclusive of the L2.  Dirtiness lives where the write happened
+(an L1 write dirties only the L1 copy); it is merged downward on every
+eviction or invalidation, so "is the private copy dirty?" — the question
+that decides whether an LLC eviction costs a bus slot — is answered by
+OR-ing the levels.
+
+The L1s may be disabled (``l1_sets == 0``), which reproduces analyses
+that only model the L2↔LLC boundary.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.cache.line import EvictedLine
+from repro.cache.sa_cache import SetAssociativeCache
+from repro.common.errors import ConfigurationError, SimulationError
+from repro.common.types import AccessType, BlockAddress, CoreId
+from repro.common.validation import require_non_negative, require_positive
+
+
+@dataclass(frozen=True)
+class PrivateStackConfig:
+    """Geometry and latencies of one core's private caches.
+
+    Defaults follow the paper's evaluation (Section 5): the L2 is a
+    4-way set-associative cache with 16 sets; L1 sizes are not given in
+    the paper, so small 2-way, 4-set L1s are used (32 lines total,
+    comfortably inside the 64-line L2).
+    """
+
+    l1_sets: int = 4
+    l1_ways: int = 2
+    l2_sets: int = 16
+    l2_ways: int = 4
+    l1_hit_latency: int = 1
+    l2_hit_latency: int = 4
+    policy: str = "lru"
+
+    def __post_init__(self) -> None:
+        require_non_negative(self.l1_sets, "l1_sets", ConfigurationError)
+        if self.l1_sets:
+            require_positive(self.l1_ways, "l1_ways", ConfigurationError)
+        require_positive(self.l2_sets, "l2_sets", ConfigurationError)
+        require_positive(self.l2_ways, "l2_ways", ConfigurationError)
+        require_positive(self.l1_hit_latency, "l1_hit_latency", ConfigurationError)
+        require_positive(self.l2_hit_latency, "l2_hit_latency", ConfigurationError)
+
+    @property
+    def has_l1(self) -> bool:
+        """Whether the stack models L1 caches at all."""
+        return self.l1_sets > 0
+
+    @property
+    def l2_capacity_lines(self) -> int:
+        """L2 capacity in lines (``m_cua`` in Theorem 4.7)."""
+        return self.l2_sets * self.l2_ways
+
+
+@dataclass(frozen=True)
+class StackAccessResult:
+    """Outcome of a core access against the private stack."""
+
+    #: ``"L1"`` or ``"L2"`` on a hit; ``None`` means the access must go
+    #: to the LLC.
+    hit_level: Optional[str]
+    #: Cycles the access costs when it hits privately (0 on a miss; the
+    #: engine accounts miss latency via the bus).
+    latency: int
+
+
+@dataclass(frozen=True)
+class FillResult:
+    """Side effects of installing an LLC response into the stack.
+
+    ``l2_victim`` is the line the fill displaced from the L2, with its
+    merged (L1 ∪ L2) dirtiness: if dirty it must be written back over
+    the bus; if clean the LLC is merely notified the core no longer
+    holds it.
+    """
+
+    l2_victim: Optional[EvictedLine]
+
+
+class PrivateStack:
+    """One core's private L1I/L1D/L2 hierarchy over block addresses."""
+
+    def __init__(
+        self,
+        core: CoreId,
+        config: Optional[PrivateStackConfig] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.core = core
+        self.config = config or PrivateStackConfig()
+        cfg = self.config
+        self.l1i: Optional[SetAssociativeCache] = None
+        self.l1d: Optional[SetAssociativeCache] = None
+        if cfg.has_l1:
+            self.l1i = SetAssociativeCache(
+                f"core{core}.L1I", cfg.l1_sets, cfg.l1_ways, cfg.policy, rng
+            )
+            self.l1d = SetAssociativeCache(
+                f"core{core}.L1D", cfg.l1_sets, cfg.l1_ways, cfg.policy, rng
+            )
+        self.l2 = SetAssociativeCache(
+            f"core{core}.L2", cfg.l2_sets, cfg.l2_ways, cfg.policy, rng
+        )
+
+    # ------------------------------------------------------------------
+    # Access path
+    # ------------------------------------------------------------------
+    def _l1_for(self, access: AccessType) -> Optional[SetAssociativeCache]:
+        if not self.config.has_l1:
+            return None
+        return self.l1i if access.is_instruction else self.l1d
+
+    def access(self, block: BlockAddress, access: AccessType) -> StackAccessResult:
+        """Run one access through L1 then L2.
+
+        On an L2 hit the L1 is refilled; on an L2 miss nothing is
+        installed — the fill happens later via :meth:`fill_from_llc`
+        when the LLC response arrives over the bus.
+        """
+        l1 = self._l1_for(access)
+        if l1 is not None and l1.access(block, access.is_write):
+            return StackAccessResult("L1", self.config.l1_hit_latency)
+        if self.l2.access(block, access.is_write):
+            if l1 is not None:
+                self._fill_l1(l1, block, access.is_write)
+            return StackAccessResult("L2", self.config.l2_hit_latency)
+        return StackAccessResult(None, 0)
+
+    def fill_from_llc(self, block: BlockAddress, access: AccessType) -> FillResult:
+        """Install the LLC response for ``block`` into L2 (and L1)."""
+        l2_victim = self.l2.fill(block, access.is_write)
+        merged_victim: Optional[EvictedLine] = None
+        if l2_victim is not None:
+            merged_victim = self._back_invalidate_l1(l2_victim)
+        l1 = self._l1_for(access)
+        if l1 is not None:
+            self._fill_l1(l1, block, access.is_write)
+        return FillResult(l2_victim=merged_victim)
+
+    def _fill_l1(self, l1: SetAssociativeCache, block: BlockAddress, dirty: bool) -> None:
+        if l1.contains(block):
+            l1.access(block, dirty)
+            return
+        victim = l1.fill(block, dirty)
+        if victim is not None and victim.dirty:
+            # Inclusive: the victim must still be in L2; push dirtiness down.
+            line = self.l2.find(victim.block)
+            if line is None:
+                raise SimulationError(
+                    f"core {self.core}: L1 victim {victim.block:#x} absent from "
+                    "inclusive L2"
+                )
+            line.dirty = True
+
+    def _back_invalidate_l1(self, l2_victim: EvictedLine) -> EvictedLine:
+        """Remove an L2 victim's copies from both L1s, merging dirtiness."""
+        dirty = l2_victim.dirty
+        for l1 in (self.l1i, self.l1d):
+            if l1 is None:
+                continue
+            removed = l1.invalidate(l2_victim.block)
+            if removed is not None and removed.dirty:
+                dirty = True
+        return EvictedLine(block=l2_victim.block, dirty=dirty)
+
+    # ------------------------------------------------------------------
+    # Inclusive back-invalidation from the LLC
+    # ------------------------------------------------------------------
+    def invalidate_block(self, block: BlockAddress) -> Optional[EvictedLine]:
+        """Evict ``block`` everywhere (LLC chose it as a victim).
+
+        Returns the removed line with merged dirtiness, or ``None`` if
+        the stack no longer held it.
+        """
+        dirty = False
+        present = False
+        for l1 in (self.l1i, self.l1d):
+            if l1 is None:
+                continue
+            removed = l1.invalidate(block)
+            if removed is not None:
+                present = True
+                dirty = dirty or removed.dirty
+        removed_l2 = self.l2.invalidate(block)
+        if removed_l2 is not None:
+            present = True
+            dirty = dirty or removed_l2.dirty
+        if not present:
+            return None
+        return EvictedLine(block=block, dirty=dirty)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def contains(self, block: BlockAddress) -> bool:
+        """Whether any private level holds ``block``."""
+        if self.l2.contains(block):
+            return True
+        return any(
+            l1 is not None and l1.contains(block) for l1 in (self.l1i, self.l1d)
+        )
+
+    def is_dirty(self, block: BlockAddress) -> bool:
+        """Whether the private copy of ``block`` is dirty at any level."""
+        if self.l2.is_dirty(block):
+            return True
+        return any(
+            l1 is not None and l1.is_dirty(block) for l1 in (self.l1i, self.l1d)
+        )
+
+    def resident_blocks(self) -> List[BlockAddress]:
+        """Blocks resident in the L2 (superset of the L1s, inclusive)."""
+        return self.l2.resident_blocks()
+
+    def check_l1_inclusion(self) -> None:
+        """Assert every L1-resident block is also in L2."""
+        for l1 in (self.l1i, self.l1d):
+            if l1 is None:
+                continue
+            for block in l1.resident_blocks():
+                if not self.l2.contains(block):
+                    raise SimulationError(
+                        f"core {self.core}: block {block:#x} in {l1.name} "
+                        "but not in inclusive L2"
+                    )

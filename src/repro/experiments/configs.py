@@ -1,0 +1,205 @@
+"""Builders for the paper's platform configurations.
+
+Section 5: "The L2 cache is a 4-way set-associative cache with 16 sets
+and the L3 cache is a 16-way set-associative cache with 32 sets that can
+be partitioned across the four cores.  The cache line size is 64-byte."
+
+The builders translate the ``SS(s,w,n)`` / ``NSS(s,w,n)`` / ``P(s,w)``
+notation into a physical carving of that LLC:
+
+* ``SS``/``NSS`` — cores ``0..n-1`` share one partition at sets
+  ``0..s-1`` × ways ``0..w-1``; any cores beyond ``n`` receive private
+  partitions of the same shape in the following set rows.
+* ``P`` — each core gets its own ``s × w`` partition in consecutive set
+  rows.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Union
+
+from repro.common.errors import ConfigurationError
+from repro.common.validation import require
+from repro.cpu.private_stack import PrivateStackConfig
+from repro.llc.partition import PartitionKind, PartitionNotation, PartitionSpec
+from repro.sim.config import (
+    PAPER_LLC_SETS,
+    PAPER_LLC_WAYS,
+    PAPER_SLOT_WIDTH,
+    SystemConfig,
+)
+
+#: The paper's per-core cache capacity ``m_cua``: the 4-way × 16-set L2.
+PAPER_CORE_CAPACITY_LINES = 64
+
+
+def _paper_stack() -> PrivateStackConfig:
+    """The paper's private stack (Section 5 geometry)."""
+    return PrivateStackConfig(l2_sets=16, l2_ways=4)
+
+
+def build_system_for_notation(
+    notation: Union[str, PartitionNotation],
+    num_cores: int,
+    llc_sets: int = PAPER_LLC_SETS,
+    llc_ways: int = PAPER_LLC_WAYS,
+    slot_width: int = PAPER_SLOT_WIDTH,
+    llc_policy: str = "lru",
+    seed: int = 1,
+    max_slots: int = 2_000_000,
+    record_events: bool = False,
+) -> SystemConfig:
+    """Build a :class:`SystemConfig` from a Section 5 notation string."""
+    if isinstance(notation, str):
+        notation = PartitionNotation.parse(notation)
+    partitions = _partitions_for(notation, num_cores, llc_sets, llc_ways)
+    return SystemConfig(
+        num_cores=num_cores,
+        partitions=partitions,
+        slot_width=slot_width,
+        llc_sets=llc_sets,
+        llc_ways=llc_ways,
+        llc_policy=llc_policy,
+        stack=_paper_stack(),
+        seed=seed,
+        max_slots=max_slots,
+        record_events=record_events,
+    )
+
+
+def _partitions_for(
+    notation: PartitionNotation,
+    num_cores: int,
+    llc_sets: int,
+    llc_ways: int,
+) -> List[PartitionSpec]:
+    s, w = notation.sets, notation.ways
+    require(
+        w <= llc_ways,
+        f"{notation}: partition ways {w} exceed LLC ways {llc_ways}",
+        ConfigurationError,
+    )
+    partitions: List[PartitionSpec] = []
+    next_set = 0
+
+    def take_sets(count: int, owner: str) -> List[int]:
+        nonlocal next_set
+        require(
+            next_set + count <= llc_sets,
+            f"{notation}: placing {owner} needs sets "
+            f"{next_set}..{next_set + count - 1} but the LLC has {llc_sets}",
+            ConfigurationError,
+        )
+        chosen = list(range(next_set, next_set + count))
+        next_set += count
+        return chosen
+
+    if notation.kind is PartitionKind.P:
+        for core in range(num_cores):
+            partitions.append(
+                PartitionSpec(
+                    name=f"core{core}",
+                    sets=take_sets(s, f"core {core}'s partition"),
+                    way_range=(0, w),
+                    cores=(core,),
+                    sequencer=False,
+                )
+            )
+        return partitions
+
+    n = notation.cores
+    require(
+        n <= num_cores,
+        f"{notation}: {n} sharers but the system has {num_cores} cores",
+        ConfigurationError,
+    )
+    partitions.append(
+        PartitionSpec(
+            name="shared",
+            sets=take_sets(s, "the shared partition"),
+            way_range=(0, w),
+            cores=tuple(range(n)),
+            sequencer=notation.sequencer,
+        )
+    )
+    for core in range(n, num_cores):
+        partitions.append(
+            PartitionSpec(
+                name=f"core{core}",
+                sets=take_sets(s, f"core {core}'s private partition"),
+                way_range=(0, w),
+                cores=(core,),
+                sequencer=False,
+            )
+        )
+    return partitions
+
+
+def fig7_system(kind: PartitionKind, record_events: bool = False) -> SystemConfig:
+    """The Figure 7 platform: 4 cores, 1-set partitions, 16 ways.
+
+    "To exercise the worst-case, we enforce a partition size of one set
+    for all configurations" (Section 5.1).
+    """
+    if kind is PartitionKind.P:
+        notation = PartitionNotation(kind=kind, sets=1, ways=16, cores=1)
+    else:
+        notation = PartitionNotation(kind=kind, sets=1, ways=16, cores=4)
+    return build_system_for_notation(
+        notation, num_cores=4, record_events=record_events
+    )
+
+
+def fig8_system(
+    kind: PartitionKind,
+    num_cores: int,
+    capacity_bytes: int,
+    line_size: int = 64,
+    llc_ways: int = PAPER_LLC_WAYS,
+    seed: int = 1,
+    self_writeback_in_slot: bool = False,
+) -> SystemConfig:
+    """A Figure 8 platform: fixed total partition capacity.
+
+    ``SS``/``NSS`` share the whole capacity; ``P`` divides it equally
+    (fixed associativity, Section 5.2), so each core's partition has
+    ``capacity / (n · line_size · ways)`` sets.
+
+    Unlike the WCL experiment, the execution-time experiment runs with
+    buffered self write-backs (``self_writeback_in_slot=False``): a
+    strict partition then pays the full write-back round trip on every
+    conflict miss, which is the average-case cost of over-committed
+    private partitions that Section 5.2 measures.
+    """
+    total_lines = capacity_bytes // line_size
+    require(
+        total_lines * line_size == capacity_bytes,
+        f"capacity {capacity_bytes} is not a whole number of {line_size}B lines",
+        ConfigurationError,
+    )
+    total_sets, remainder = divmod(total_lines, llc_ways)
+    require(
+        remainder == 0,
+        f"capacity {capacity_bytes} is not a whole number of {llc_ways}-way sets",
+        ConfigurationError,
+    )
+    if kind is PartitionKind.P:
+        per_core_sets, remainder = divmod(total_sets, num_cores)
+        require(
+            remainder == 0 and per_core_sets > 0,
+            f"capacity {capacity_bytes} cannot be divided equally into "
+            f"{num_cores} {llc_ways}-way partitions",
+            ConfigurationError,
+        )
+        notation = PartitionNotation(
+            kind=kind, sets=per_core_sets, ways=llc_ways, cores=1
+        )
+    else:
+        notation = PartitionNotation(
+            kind=kind, sets=total_sets, ways=llc_ways, cores=num_cores
+        )
+    config = build_system_for_notation(notation, num_cores=num_cores, seed=seed)
+    return dataclasses.replace(
+        config, self_writeback_in_slot=self_writeback_in_slot
+    )

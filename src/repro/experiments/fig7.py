@@ -1,0 +1,175 @@
+"""Figure 7: observed WCL of SS, NSS and P versus the analytical bounds.
+
+Section 5.1: all configurations use a one-set partition to force as many
+conflicts as possible; the observed WCL of every configuration must sit
+under its analytical bound (5000 cycles for SS, 979 250 for NSS, 450
+for P at the paper's parameters), with NSS observing a higher WCL than
+SS because distance can increase (Observation 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.analysis.wcl import analytical_wcl_cycles
+from repro.experiments.configs import (
+    PAPER_CORE_CAPACITY_LINES,
+    fig7_system,
+)
+from repro.experiments.tables import render_table
+from repro.llc.partition import PartitionKind, PartitionNotation
+from repro.sim.report import SimReport
+from repro.sim.simulator import simulate
+from repro.workloads.synthetic import (
+    SyntheticWorkloadConfig,
+    generate_disjoint_workload,
+)
+
+#: Byte ranges swept on the x-axis ("across all address ranges").
+DEFAULT_ADDRESS_RANGES: Tuple[int, ...] = (1024, 2048, 4096, 8192, 16384)
+
+
+@dataclass(frozen=True)
+class Fig7Row:
+    """One (configuration, address range) cell of Figure 7."""
+
+    config: str
+    address_range: int
+    observed_wcl: int
+    analytical_wcl: int
+
+    @property
+    def within_bound(self) -> bool:
+        """Whether the observation respects the analytical bound."""
+        return self.observed_wcl <= self.analytical_wcl
+
+    @property
+    def slack(self) -> float:
+        """Bound / observed (how much headroom the bound leaves)."""
+        if self.observed_wcl == 0:
+            return float("inf")
+        return self.analytical_wcl / self.observed_wcl
+
+
+@dataclass
+class Fig7Result:
+    """All rows of the Figure 7 reproduction."""
+
+    rows: List[Fig7Row]
+
+    def for_config(self, config: str) -> List[Fig7Row]:
+        """Rows of one configuration, by address range."""
+        return [row for row in self.rows if row.config == config]
+
+    def max_observed(self, config: str) -> int:
+        """The configuration's observed WCL across all ranges."""
+        return max((row.observed_wcl for row in self.for_config(config)), default=0)
+
+    def all_within_bounds(self) -> bool:
+        """The paper's headline check: every observation under its bound."""
+        return all(row.within_bound for row in self.rows)
+
+    def render(self) -> str:
+        """The figure as a text table."""
+        return render_table(
+            headers=["config", "range(B)", "observed WCL", "analytical WCL", "ok"],
+            rows=[
+                [
+                    row.config,
+                    row.address_range,
+                    row.observed_wcl,
+                    row.analytical_wcl,
+                    "yes" if row.within_bound else "VIOLATED",
+                ]
+                for row in self.rows
+            ],
+            title="Figure 7: observed vs analytical WCL (cycles)",
+        )
+
+
+#: The three Figure 7 configurations, in the paper's notation.
+FIG7_CONFIGS: Tuple[str, ...] = ("SS(1,16,4)", "NSS(1,16,4)", "P(1,16)")
+
+
+def run_fig7(
+    address_ranges: Sequence[int] = DEFAULT_ADDRESS_RANGES,
+    num_requests: int = 400,
+    seed: int = 2022,
+    adversarial: bool = False,
+) -> Fig7Result:
+    """Run the full Figure 7 sweep.
+
+    Every configuration replays the *same* per-core address streams for
+    a given range (Section 5: "a core issues the same memory addresses
+    across different partitioned configurations"), guaranteed here
+    because the workload seed never includes the configuration.
+
+    With ``adversarial=True`` the shared configurations run with the
+    max-distance oracle replacement and write-back-first arbitration
+    (the tightness experiment's steering).  Under symmetric LRU storms
+    the global LRU victim is almost always the requester's own line, so
+    the unsteered sweep under-exercises cross-core interference;
+    steering restores the paper's "NSS higher than SS across all
+    address ranges" separation per range.
+    """
+    rows: List[Fig7Row] = []
+    for notation_text in FIG7_CONFIGS:
+        notation = PartitionNotation.parse(notation_text)
+        steer = adversarial and notation.kind is not PartitionKind.P
+        config = (
+            _adversarial_system(notation) if steer else fig7_system(notation.kind)
+        )
+        bound = analytical_wcl_cycles(
+            notation,
+            total_cores=config.num_cores,
+            slot_width=config.slot_width,
+            core_capacity_lines=PAPER_CORE_CAPACITY_LINES,
+        )
+        for address_range in address_ranges:
+            report = _run_one(config, address_range, num_requests, seed, steer)
+            rows.append(
+                Fig7Row(
+                    config=notation_text,
+                    address_range=address_range,
+                    observed_wcl=report.observed_wcl(),
+                    analytical_wcl=bound,
+                )
+            )
+    return Fig7Result(rows=rows)
+
+
+def _adversarial_system(notation: PartitionNotation):
+    import dataclasses
+
+    from repro.bus.arbiter import ArbitrationPolicy
+    from repro.experiments.configs import build_system_for_notation
+
+    config = build_system_for_notation(
+        str(notation), num_cores=4, llc_policy="oracle"
+    )
+    return dataclasses.replace(
+        config, arbitration=ArbitrationPolicy.WRITEBACK_FIRST
+    )
+
+
+def _run_one(
+    config, address_range: int, num_requests: int, seed: int, steer: bool = False
+) -> SimReport:
+    from repro.sim.simulator import Simulator
+
+    workload = SyntheticWorkloadConfig(
+        num_requests=num_requests,
+        address_range_size=address_range,
+        line_size=config.line_size,
+        write_fraction=1.0,
+        seed=seed,
+    )
+    traces = generate_disjoint_workload(workload, list(range(config.num_cores)))
+    if not steer:
+        return simulate(config, traces)
+    from repro.experiments.tightness import install_adversarial_replacement
+
+    sim = Simulator(config, traces)
+    install_adversarial_replacement(sim)
+    return sim.run()

@@ -1,0 +1,220 @@
+"""One-shot reproduction runner: every experiment, one results directory.
+
+``run_all`` executes the full evaluation — Figure 7, Figures 8a–8d, the
+Section 4.1 witness, the analytical constants and the tightness probe —
+and writes each artifact as a text table (plus a machine-readable
+summary) under an output directory.  The CLI exposes it as
+``repro-llc all --out results/``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.analysis.unbounded import starvation_witness
+from repro.analysis.wcl import (
+    SharedPartitionParams,
+    wcl_nss_cycles,
+    wcl_private_cycles,
+    wcl_ss_cycles,
+)
+from repro.experiments.fig7 import run_fig7
+from repro.experiments.fig8 import SUBFIGURES, run_fig8
+from repro.experiments.isolation import run_isolation
+from repro.experiments.tables import render_table
+from repro.experiments.tightness import run_tightness
+
+
+@dataclass
+class ArtifactResult:
+    """One regenerated artifact: its table text and headline checks."""
+
+    name: str
+    table: str
+    checks: Dict[str, bool]
+
+    @property
+    def passed(self) -> bool:
+        """Whether every reproduction check held."""
+        return all(self.checks.values())
+
+
+@dataclass
+class RunAllResult:
+    """Everything ``run_all`` produced."""
+
+    artifacts: List[ArtifactResult] = field(default_factory=list)
+
+    @property
+    def all_passed(self) -> bool:
+        """Whether every artifact's checks held."""
+        return all(artifact.passed for artifact in self.artifacts)
+
+    def summary(self) -> str:
+        """One line per artifact."""
+        return "\n".join(
+            f"{'PASS' if artifact.passed else 'FAIL'}  {artifact.name}"
+            for artifact in self.artifacts
+        )
+
+
+def _paper_params() -> SharedPartitionParams:
+    return SharedPartitionParams(
+        total_cores=4,
+        sharers=4,
+        ways=16,
+        partition_lines=16,
+        core_capacity_lines=64,
+        slot_width=50,
+    )
+
+
+def _constants_artifact() -> ArtifactResult:
+    params = _paper_params()
+    rows = [
+        ["SS(1,16,4)", wcl_ss_cycles(params), 5_000],
+        ["NSS(1,16,4)", wcl_nss_cycles(params), 979_250],
+        ["P(1,16)", wcl_private_cycles(4, 50), 450],
+    ]
+    table = render_table(
+        ["config", "computed", "paper"], rows, title="Section 5.1 constants"
+    )
+    return ArtifactResult(
+        name="section-5.1-constants",
+        table=table,
+        checks={f"{name}-exact": computed == paper for name, computed, paper in rows},
+    )
+
+
+def _fig7_artifact(num_requests: int) -> ArtifactResult:
+    result = run_fig7(num_requests=num_requests)
+    return ArtifactResult(
+        name="figure-7",
+        table=result.render(),
+        checks={
+            "all-within-bounds": result.all_within_bounds(),
+            "nss-at-least-ss": result.max_observed("NSS(1,16,4)")
+            >= result.max_observed("SS(1,16,4)"),
+            "p-lowest": result.max_observed("P(1,16)")
+            <= result.max_observed("SS(1,16,4)"),
+        },
+    )
+
+
+def _fig8_artifact(subfigure: str, num_requests: int) -> ArtifactResult:
+    result = run_fig8(subfigure, num_requests=num_requests)
+    ties = all(
+        row.ss_cycles == row.nss_cycles == row.p_cycles
+        for row in result.rows_with_fit()
+    )
+    # Short runner sweeps carry a little warmup noise at the largest
+    # ranges; a 5% tolerance keeps the check about the *shape* (the
+    # strict >= 1.0 variant runs in benchmarks/test_bench_fig8.py at
+    # full trace length).
+    wins = all(row.ss_speedup_vs_p >= 0.95 for row in result.rows_exceeding())
+    average_wins = result.average_speedup_vs_p() > 1.0
+    return ArtifactResult(
+        name=f"figure-{subfigure}",
+        table=result.render()
+        + f"\n\naverage SS speedup vs P: {result.average_speedup_vs_p():.2f}x",
+        checks={
+            "ties-below-partition": ties,
+            "ss-not-worse-than-p-5pct": wins,
+            "ss-wins-on-average": average_wins,
+        },
+    )
+
+
+def _unbounded_artifact() -> ArtifactResult:
+    witness = starvation_witness(stream_lengths=(50, 100, 200), ways=4)
+    table = render_table(
+        ["stream", "multi-slot", "1S-TDM"],
+        [
+            list(row)
+            for row in zip(
+                witness.stream_lengths,
+                witness.multi_slot_latencies,
+                witness.one_slot_latencies,
+            )
+        ],
+        title="Section 4.1 witness (victim latency, cycles)",
+    )
+    return ArtifactResult(
+        name="section-4.1-unbounded",
+        table=table,
+        checks={
+            "multi-slot-grows": witness.multi_slot_growth,
+            "one-slot-bounded": witness.one_slot_bounded,
+        },
+    )
+
+
+def _tightness_artifact(repeats: int) -> ArtifactResult:
+    result = run_tightness(repeats=repeats)
+    return ArtifactResult(
+        name="bound-tightness",
+        table=result.render(),
+        checks={
+            "bounds-never-violated": all(
+                row.observed_wcl <= row.bound for row in result.rows
+            ),
+            "steering-raises-wcl": all(
+                result.row(config, True).observed_wcl
+                >= result.row(config, False).observed_wcl
+                for config in ("SS(1,16,4)", "NSS(1,16,4)")
+            ),
+        },
+    )
+
+
+def _isolation_artifact() -> ArtifactResult:
+    result = run_isolation()
+    return ArtifactResult(
+        name="partial-sharing-isolation",
+        table=result.render(),
+        checks={
+            "private-cores-isolated": result.private_cores_isolated(),
+            "bounds-hold": result.bounds_hold(),
+        },
+    )
+
+
+def run_all(
+    out_dir: Optional[Union[str, Path]] = None,
+    num_requests: int = 300,
+    tightness_repeats: int = 25,
+    progress: Optional[Callable[[str], None]] = None,
+) -> RunAllResult:
+    """Regenerate every artifact; optionally write them to ``out_dir``."""
+    steps: List[Callable[[], ArtifactResult]] = [
+        _constants_artifact,
+        lambda: _fig7_artifact(num_requests),
+        *(
+            (lambda sub=sub: _fig8_artifact(sub, num_requests))
+            for sub in sorted(SUBFIGURES)
+        ),
+        _unbounded_artifact,
+        lambda: _tightness_artifact(tightness_repeats),
+        _isolation_artifact,
+    ]
+    result = RunAllResult()
+    for step in steps:
+        artifact = step()
+        if progress is not None:
+            progress(f"{artifact.name}: {'PASS' if artifact.passed else 'FAIL'}")
+        result.artifacts.append(artifact)
+
+    if out_dir is not None:
+        target = Path(out_dir)
+        target.mkdir(parents=True, exist_ok=True)
+        for artifact in result.artifacts:
+            (target / f"{artifact.name}.txt").write_text(artifact.table + "\n")
+        summary = {
+            artifact.name: artifact.checks for artifact in result.artifacts
+        }
+        (target / "summary.json").write_text(json.dumps(summary, indent=2) + "\n")
+        (target / "SUMMARY.txt").write_text(result.summary() + "\n")
+    return result

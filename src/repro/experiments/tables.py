@@ -1,0 +1,64 @@
+"""Plain-text table rendering for experiment output."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned monospace table.
+
+    Numbers are right-aligned, text left-aligned; floats are shown with
+    two decimals.
+    """
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.2f}"
+        return str(cell)
+
+    formatted: List[List[str]] = [[fmt(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in formatted:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+
+    def is_numeric(column: int) -> bool:
+        return all(
+            _looks_numeric(row[column]) for row in formatted
+        ) and bool(formatted)
+
+    numeric = [is_numeric(column) for column in range(len(headers))]
+
+    def render_row(cells: Sequence[str]) -> str:
+        parts = []
+        for column, cell in enumerate(cells):
+            if numeric[column]:
+                parts.append(cell.rjust(widths[column]))
+            else:
+                parts.append(cell.ljust(widths[column]))
+        return "  ".join(parts).rstrip()
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(render_row(list(headers)))
+    lines.append("  ".join("-" * width for width in widths))
+    lines.extend(render_row(row) for row in formatted)
+    return "\n".join(lines)
+
+
+def _looks_numeric(text: str) -> bool:
+    try:
+        float(text.replace("x", "").replace("%", ""))
+        return True
+    except ValueError:
+        return False

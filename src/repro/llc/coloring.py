@@ -1,0 +1,178 @@
+"""Page coloring: the software face of set partitioning.
+
+The simulator's partitions fold a core's block addresses onto the
+partition's sets directly, which models what an OS achieves physically
+through **page coloring** (as deployed by Jailhouse, Bao and friends):
+a page's *color* is the part of its physical page number that selects
+LLC sets, so by restricting which colors a task's pages come from, the
+OS confines the task to a subset of sets with zero hardware support.
+
+This module computes the color geometry of an LLC, checks which colors
+a :class:`~repro.llc.partition.PartitionSpec` occupies (a partition is
+*colorable* only if it owns whole colors), and builds the
+color-constrained physical address streams that make a simulated trace
+land exactly inside a partition — the bridge between "fold the address"
+modelling and deployable coloring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Set, Tuple
+
+from repro.common.errors import PartitionError
+from repro.common.types import Address
+from repro.common.validation import require, require_power_of_two
+from repro.llc.partition import PartitionSpec
+
+
+@dataclass(frozen=True)
+class ColorGeometry:
+    """How page numbers map to LLC set colors.
+
+    With ``line_size``-byte lines, ``num_sets`` sets and
+    ``page_size``-byte pages, a page covers ``page_size / line_size``
+    consecutive sets, so there are ``num_sets · line_size / page_size``
+    distinct colors (at least 1); pages of the same color cover the
+    same sets.
+    """
+
+    line_size: int
+    num_sets: int
+    page_size: int
+
+    def __post_init__(self) -> None:
+        require_power_of_two(self.line_size, "line_size", PartitionError)
+        require_power_of_two(self.num_sets, "num_sets", PartitionError)
+        require_power_of_two(self.page_size, "page_size", PartitionError)
+        require(
+            self.page_size >= self.line_size,
+            f"page size ({self.page_size}) must cover at least one line "
+            f"({self.line_size})",
+            PartitionError,
+        )
+
+    @property
+    def sets_per_page(self) -> int:
+        """Consecutive sets one page spans (capped at the set count)."""
+        return min(self.page_size // self.line_size, self.num_sets)
+
+    @property
+    def num_colors(self) -> int:
+        """Distinct page colors the LLC exposes."""
+        return max(1, self.num_sets // self.sets_per_page)
+
+    def color_of_page(self, page_number: int) -> int:
+        """The color of physical page ``page_number``."""
+        if page_number < 0:
+            raise PartitionError(f"page number must be >= 0, got {page_number}")
+        return page_number % self.num_colors
+
+    def color_of_address(self, address: Address) -> int:
+        """The color of the page containing ``address``."""
+        if address < 0:
+            raise PartitionError(f"address must be >= 0, got {address}")
+        return self.color_of_page(address // self.page_size)
+
+    def sets_of_color(self, color: int) -> range:
+        """The consecutive set indices a color covers."""
+        if not 0 <= color < self.num_colors:
+            raise PartitionError(
+                f"color {color} out of range 0..{self.num_colors - 1}"
+            )
+        return range(color * self.sets_per_page, (color + 1) * self.sets_per_page)
+
+
+def colors_of_partition(
+    partition: PartitionSpec, geometry: ColorGeometry
+) -> Set[int]:
+    """The page colors whose sets the partition covers *completely*.
+
+    Raises :class:`PartitionError` when the partition slices through a
+    color (owns some but not all of its sets): such a partition cannot
+    be realised with page coloring — software would have no page
+    granularity to express it.
+    """
+    covered = set(partition.sets)
+    colors: Set[int] = set()
+    for color in range(geometry.num_colors):
+        color_sets = set(geometry.sets_of_color(color))
+        if color_sets <= covered:
+            colors.add(color)
+            covered -= color_sets
+        elif color_sets & covered:
+            raise PartitionError(
+                f"partition {partition.name!r} covers only part of color "
+                f"{color} (sets {sorted(color_sets & covered)} of "
+                f"{sorted(color_sets)}); it cannot be realised by page "
+                "coloring"
+            )
+    if covered:
+        raise PartitionError(
+            f"partition {partition.name!r} has sets {sorted(covered)} outside "
+            "every color — geometry mismatch"
+        )
+    return colors
+
+
+def is_colorable(partition: PartitionSpec, geometry: ColorGeometry) -> bool:
+    """Whether the partition consists of whole colors."""
+    try:
+        colors_of_partition(partition, geometry)
+        return True
+    except PartitionError:
+        return False
+
+
+@dataclass(frozen=True)
+class ColoredAllocator:
+    """Hands out physical pages of the given colors, in color order.
+
+    Models the OS page allocator of a coloring hypervisor: the i-th
+    allocated page is the i-th physical page whose color belongs to the
+    partition.  :meth:`page` is deterministic, so traces built on top
+    replay identically.
+    """
+
+    geometry: ColorGeometry
+    colors: Tuple[int, ...]
+
+    def __init__(self, geometry: ColorGeometry, colors: Sequence[int]) -> None:
+        color_tuple = tuple(sorted(set(colors)))
+        require(bool(color_tuple), "allocator needs at least one color", PartitionError)
+        for color in color_tuple:
+            require(
+                0 <= color < geometry.num_colors,
+                f"color {color} out of range 0..{geometry.num_colors - 1}",
+                PartitionError,
+            )
+        object.__setattr__(self, "geometry", geometry)
+        object.__setattr__(self, "colors", color_tuple)
+
+    def page(self, index: int) -> int:
+        """Physical page number of the ``index``-th allocated page."""
+        if index < 0:
+            raise PartitionError(f"page index must be >= 0, got {index}")
+        stripe, offset = divmod(index, len(self.colors))
+        return stripe * self.geometry.num_colors + self.colors[offset]
+
+    def translate(self, virtual_address: Address) -> Address:
+        """Map a zero-based contiguous virtual address into colored pages.
+
+        The virtual space ``[0, N)`` is laid out page by page onto the
+        allocator's colored physical pages, exactly like an OS giving a
+        task a contiguous heap from a colored free list.
+        """
+        if virtual_address < 0:
+            raise PartitionError(
+                f"virtual address must be >= 0, got {virtual_address}"
+            )
+        page_index, offset = divmod(virtual_address, self.geometry.page_size)
+        return self.page(page_index) * self.geometry.page_size + offset
+
+
+def colored_allocator_for_partition(
+    partition: PartitionSpec, geometry: ColorGeometry
+) -> ColoredAllocator:
+    """An allocator restricted to the partition's colors."""
+    return ColoredAllocator(geometry, sorted(colors_of_partition(partition, geometry)))

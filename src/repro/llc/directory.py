@@ -1,0 +1,73 @@
+"""Private-owner directory for the inclusive LLC.
+
+The LLC must know, for every resident line, which cores hold a private
+copy: evicting such a line forces the owners to evict it from their
+private caches too (the inclusive property, Section 3), and a *dirty*
+private copy costs the owner a bus slot for the write-back — the
+mechanism the whole worst-case analysis revolves around.
+
+The directory is exact (a sharer set per block), which is how the
+simulator both enforces inclusivity and implements the "distance of the
+core caching line l" bookkeeping of Definition 4.2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Set
+
+from repro.common.errors import SimulationError
+from repro.common.types import BlockAddress, CoreId
+
+
+class OwnerDirectory:
+    """Tracks which cores privately cache each LLC-resident block."""
+
+    def __init__(self) -> None:
+        self._owners: Dict[BlockAddress, Set[CoreId]] = {}
+
+    def owners_of(self, block: BlockAddress) -> FrozenSet[CoreId]:
+        """Cores currently holding a private copy of ``block``."""
+        return frozenset(self._owners.get(block, ()))
+
+    def has_owner(self, block: BlockAddress) -> bool:
+        """Whether any core privately caches ``block``."""
+        return bool(self._owners.get(block))
+
+    def is_owner(self, core: CoreId, block: BlockAddress) -> bool:
+        """Whether ``core`` privately caches ``block``."""
+        return core in self._owners.get(block, ())
+
+    def add_owner(self, core: CoreId, block: BlockAddress) -> None:
+        """Record that ``core`` now privately caches ``block``."""
+        self._owners.setdefault(block, set()).add(core)
+
+    def remove_owner(self, core: CoreId, block: BlockAddress) -> None:
+        """Record that ``core`` no longer privately caches ``block``.
+
+        Idempotent: dropping a non-owner is allowed because a clean
+        private eviction may race with an LLC-side invalidation.
+        """
+        owners = self._owners.get(block)
+        if owners is None:
+            return
+        owners.discard(core)
+        if not owners:
+            del self._owners[block]
+
+    def drop_block(self, block: BlockAddress) -> FrozenSet[CoreId]:
+        """Forget ``block`` entirely; returns the owners it had."""
+        owners = self._owners.pop(block, set())
+        return frozenset(owners)
+
+    def require_no_owner(self, block: BlockAddress) -> None:
+        """Assert the inclusivity invariant before dropping a block."""
+        owners = self._owners.get(block)
+        if owners:
+            raise SimulationError(
+                f"block {block:#x} still privately cached by cores "
+                f"{sorted(owners)}; inclusive LLC cannot drop it"
+            )
+
+    def tracked_blocks(self) -> int:
+        """Number of blocks with at least one private owner."""
+        return len(self._owners)

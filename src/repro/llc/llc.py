@@ -1,0 +1,513 @@
+"""The partitioned, inclusive last-level cache.
+
+This is the model's centrepiece: a set-associative L3 whose entries move
+through the ``FREE`` → ``VALID`` → ``PENDING_EVICT`` lifecycle described
+in DESIGN.md.  The slow path that the paper analyses arises entirely
+from one rule encoded here: **an entry whose line is cached dirty by
+some core cannot be reused until that core spends one of its own bus
+slots writing the line back** (the inclusive property of Section 3).
+
+The LLC itself is passive: it never advances time.  The slot engine
+(:mod:`repro.sim.engine`) drives it — looking lines up, asking for
+victims, invalidating private copies, and delivering write-backs — and
+the LLC keeps the storage, the replacement state, the owner directory
+and the statistics consistent.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.cache.replacement import OraclePolicy, ReplacementPolicy, make_policy
+from repro.cache.stats import CacheStats
+from repro.common.errors import GeometryError, SimulationError
+from repro.common.types import BlockAddress, CoreId, EntryState
+from repro.common.validation import require_positive
+from repro.llc.directory import OwnerDirectory
+from repro.llc.partition import PartitionMap, PartitionSpec
+
+
+@dataclass
+class LlcEntry:
+    """One way of one physical LLC set."""
+
+    set_index: int
+    way: int
+    state: EntryState = EntryState.FREE
+    block: Optional[BlockAddress] = None
+    dirty: bool = False
+    #: When ``PENDING_EVICT``: dirty private owners whose write-back the
+    #: entry still waits for.
+    pending_writers: Set[CoreId] = field(default_factory=set)
+
+    @property
+    def is_free(self) -> bool:
+        return self.state is EntryState.FREE
+
+    @property
+    def is_valid(self) -> bool:
+        return self.state is EntryState.VALID
+
+    @property
+    def is_pending(self) -> bool:
+        return self.state is EntryState.PENDING_EVICT
+
+
+@dataclass(frozen=True)
+class VictimInfo:
+    """A victim chosen for eviction, before its effects are applied."""
+
+    set_index: int
+    way: int
+    block: BlockAddress
+    owners: FrozenSet[CoreId]
+    llc_dirty: bool
+
+
+class WritebackOutcome(enum.Enum):
+    """What a write-back arriving at the LLC did."""
+
+    #: It was the last awaited write-back of a ``PENDING_EVICT`` entry;
+    #: the entry is now ``FREE``.
+    FREED = "freed"
+    #: A write-back for a still-``PENDING_EVICT`` entry that awaits
+    #: further owners (only possible with shared data).
+    PENDING = "pending"
+    #: It updated a ``VALID`` entry (an ordinary capacity write-back).
+    UPDATED = "updated"
+    #: The block is no longer resident; the data went straight to DRAM.
+    DRAM_DIRECT = "dram-direct"
+
+
+@dataclass
+class LlcExtraStats:
+    """LLC-specific counters beyond the generic :class:`CacheStats`."""
+
+    back_invalidations: int = 0
+    silent_back_invalidations: int = 0
+    evictions_started: int = 0
+    entries_freed: int = 0
+    dram_writebacks: int = 0
+    blocked_no_free_entry: int = 0
+
+
+class PartitionedLlc:
+    """Inclusive set-associative LLC carved into partitions.
+
+    Parameters
+    ----------
+    num_sets, num_ways:
+        Physical geometry (the paper's evaluation uses 32 sets × 16
+        ways).
+    partition_map:
+        The carving; every allocating core must appear in it.
+    policy:
+        Replacement policy name (per physical set); ``"oracle"``
+        installs :class:`~repro.cache.replacement.OraclePolicy` hooks
+        used by adversarial workloads.
+    rng:
+        Seeded stream for stochastic policies.
+    """
+
+    def __init__(
+        self,
+        num_sets: int,
+        num_ways: int,
+        partition_map: PartitionMap,
+        policy: str = "lru",
+        rng: Optional[random.Random] = None,
+        name: str = "LLC",
+    ) -> None:
+        require_positive(num_sets, "num_sets", GeometryError)
+        require_positive(num_ways, "num_ways", GeometryError)
+        if partition_map.num_sets != num_sets or partition_map.num_ways != num_ways:
+            raise GeometryError(
+                f"partition map was validated against {partition_map.num_sets}x"
+                f"{partition_map.num_ways} but LLC is {num_sets}x{num_ways}"
+            )
+        self.name = name
+        self.num_sets = num_sets
+        self.num_ways = num_ways
+        self.partition_map = partition_map
+        self.policy_name = policy
+        self.stats = CacheStats()
+        self.extra = LlcExtraStats()
+        self.directory = OwnerDirectory()
+        self._entries: List[List[LlcEntry]] = [
+            [LlcEntry(set_index=s, way=w) for w in range(num_ways)]
+            for s in range(num_sets)
+        ]
+        self._policies: List[ReplacementPolicy] = []
+        for set_index in range(num_sets):
+            set_policy = make_policy(policy, num_ways, rng)
+            if isinstance(set_policy, OraclePolicy):
+                set_policy.bind_set(set_index)
+            self._policies.append(set_policy)
+        # block -> entry, for VALID and PENDING_EVICT entries respectively
+        self._valid_index: Dict[BlockAddress, LlcEntry] = {}
+        self._pending_index: Dict[BlockAddress, LlcEntry] = {}
+        # Partitions are immutable, so each (partition, set) region's
+        # entry list and each partition's way membership are precomputed
+        # — these sit on the engine's hottest path.
+        self._region_cache: Dict[Tuple[str, int], List[LlcEntry]] = {}
+        self._way_sets: Dict[str, frozenset] = {}
+        for spec in partition_map.partitions:
+            self._way_sets[spec.name] = frozenset(spec.ways())
+            for set_index in spec.sets:
+                self._region_cache[(spec.name, set_index)] = [
+                    self._entries[set_index][way] for way in spec.ways()
+                ]
+
+    # ------------------------------------------------------------------
+    # Geometry helpers
+    # ------------------------------------------------------------------
+    def partition_of(self, core: CoreId) -> PartitionSpec:
+        """The partition ``core`` allocates into."""
+        return self.partition_map.partition_of(core)
+
+    def fold(self, core: CoreId, block: BlockAddress) -> int:
+        """Physical set ``block`` maps to for ``core``'s partition."""
+        return self.partition_of(core).fold_set(block)
+
+    def entry(self, set_index: int, way: int) -> LlcEntry:
+        """Direct access to one entry (tests and invariants)."""
+        return self._entries[set_index][way]
+
+    def _partition_entries(
+        self, partition: PartitionSpec, set_index: int
+    ) -> List[LlcEntry]:
+        return self._region_cache[(partition.name, set_index)]
+
+    def oracle_policy(self, set_index: int) -> OraclePolicy:
+        """The oracle policy of a set (adversarial steering hook)."""
+        set_policy = self._policies[set_index]
+        if not isinstance(set_policy, OraclePolicy):
+            raise SimulationError(
+                f"set {set_index} uses policy {self.policy_name!r}, not 'oracle'"
+            )
+        return set_policy
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+    def lookup(self, core: CoreId, block: BlockAddress) -> Optional[LlcEntry]:
+        """Probe for a hit within ``core``'s partition; counts stats.
+
+        Only ``VALID`` entries hit: a ``PENDING_EVICT`` line is logically
+        gone (its eviction is merely waiting for the bus).
+        """
+        self.stats.accesses += 1
+        entry = self._probe(core, block)
+        if entry is not None:
+            self.stats.hits += 1
+            self._policies[entry.set_index].on_access(entry.way)
+            return entry
+        self.stats.misses += 1
+        return None
+
+    def probe(self, core: CoreId, block: BlockAddress) -> Optional[LlcEntry]:
+        """Like :meth:`lookup` but with no statistics or policy effects."""
+        return self._probe(core, block)
+
+    def _probe(self, core: CoreId, block: BlockAddress) -> Optional[LlcEntry]:
+        partition = self.partition_of(core)
+        set_index = partition.fold_set(block)
+        entry = self._valid_index.get(block)
+        if entry is None or entry.set_index != set_index:
+            return None
+        if entry.way not in self._way_sets[partition.name]:
+            return None
+        return entry
+
+    def free_entry(self, core: CoreId, block: BlockAddress) -> Optional[LlcEntry]:
+        """A ``FREE`` entry usable for ``block`` in ``core``'s partition."""
+        partition = self.partition_of(core)
+        set_index = partition.fold_set(block)
+        for entry in self._partition_entries(partition, set_index):
+            if entry.is_free:
+                return entry
+        return None
+
+    def has_pending_evict(self, core: CoreId, block: BlockAddress) -> bool:
+        """Whether an eviction is already in flight in the target set.
+
+        The engine triggers at most one eviction at a time per
+        (partition × set) region: while one is pending, a free entry is
+        already on its way, so further evictions would only destroy
+        additional cache state without helping any requester.
+        """
+        partition = self.partition_of(core)
+        set_index = partition.fold_set(block)
+        return any(
+            entry.is_pending
+            for entry in self._partition_entries(partition, set_index)
+        )
+
+    def region_availability(
+        self, core: CoreId, block: BlockAddress
+    ) -> Tuple[int, int]:
+        """``(free, pending)`` entry counts of ``block``'s region.
+
+        The engine compares their sum against the number of waiting
+        requesters to decide whether another eviction is warranted.
+        """
+        partition = self.partition_of(core)
+        set_index = partition.fold_set(block)
+        free = 0
+        pending = 0
+        for entry in self._partition_entries(partition, set_index):
+            if entry.is_free:
+                free += 1
+            elif entry.is_pending:
+                pending += 1
+        return free, pending
+
+    def pending_entry(self, block: BlockAddress) -> Optional[LlcEntry]:
+        """The ``PENDING_EVICT`` entry holding ``block``, if any."""
+        return self._pending_index.get(block)
+
+    def block_is_pending(self, block: BlockAddress) -> bool:
+        """Whether ``block`` itself sits in a ``PENDING_EVICT`` entry.
+
+        A request for such a block cannot allocate (the block would be
+        resident twice); it must wait for the eviction's write-back to
+        free the entry.
+        """
+        return block in self._pending_index
+
+    def valid_entries_in_region(
+        self, core: CoreId, block: BlockAddress
+    ) -> List[LlcEntry]:
+        """``VALID`` entries of the (partition × set) region of ``block``."""
+        partition = self.partition_of(core)
+        set_index = partition.fold_set(block)
+        return [
+            entry
+            for entry in self._partition_entries(partition, set_index)
+            if entry.is_valid
+        ]
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+    def allocate(self, core: CoreId, block: BlockAddress) -> LlcEntry:
+        """Install ``block`` into a free entry of ``core``'s partition.
+
+        The caller must have verified a free entry exists (and, under
+        SS, that ``core`` is at the head of the set's sequencer queue).
+        The new line is clean at the LLC (just fetched from DRAM) and
+        ``core`` becomes its private owner.
+        """
+        existing = self._valid_index.get(block) or self._pending_index.get(block)
+        if existing is not None:
+            raise SimulationError(
+                f"block {block:#x} already resident at set {existing.set_index} "
+                f"way {existing.way} ({existing.state.value}); workloads must "
+                "keep partition address ranges disjoint"
+            )
+        entry = self.free_entry(core, block)
+        if entry is None:
+            raise SimulationError(
+                f"allocate for core {core} block {block:#x}: no free entry "
+                f"in partition {self.partition_of(core).name!r}"
+            )
+        entry.state = EntryState.VALID
+        entry.block = block
+        entry.dirty = False
+        entry.pending_writers.clear()
+        self._valid_index[block] = entry
+        self._policies[entry.set_index].on_fill(entry.way)
+        self.directory.add_owner(core, block)
+        self.stats.fills += 1
+        return entry
+
+    def add_owner(self, core: CoreId, block: BlockAddress) -> None:
+        """Record that ``core`` filled its private caches with ``block``."""
+        if block not in self._valid_index:
+            raise SimulationError(
+                f"add_owner for block {block:#x} which is not VALID in the LLC"
+            )
+        self.directory.add_owner(core, block)
+
+    def note_private_drop(self, core: CoreId, block: BlockAddress) -> None:
+        """``core``'s private caches no longer hold ``block``.
+
+        Called when the L2 displaces a line by capacity — clean or
+        dirty.  For a dirty victim the write-back data is still in
+        flight in the PWB; ownership ends now regardless, because the
+        *copy* is gone (a later LLC eviction of the block must not wait
+        on this core, whose data will arrive as ``DRAM_DIRECT``).
+        """
+        self.directory.remove_owner(core, block)
+
+    # ------------------------------------------------------------------
+    # Eviction lifecycle
+    # ------------------------------------------------------------------
+    def choose_victim(
+        self, core: CoreId, block: BlockAddress
+    ) -> Optional[VictimInfo]:
+        """Pick a victim for ``core``'s miss on ``block``; no mutation.
+
+        Candidates are the ``VALID`` entries of the region; ``None``
+        when the region has no valid entry to evict (everything is
+        already free or pending).
+        """
+        partition = self.partition_of(core)
+        set_index = partition.fold_set(block)
+        candidates = [
+            entry.way
+            for entry in self._partition_entries(partition, set_index)
+            if entry.is_valid
+        ]
+        if not candidates:
+            return None
+        way = self._policies[set_index].victim(candidates)
+        if way not in candidates:
+            raise SimulationError(
+                f"policy for set {set_index} chose way {way} outside "
+                f"candidates {candidates}"
+            )
+        victim = self._entries[set_index][way]
+        assert victim.block is not None
+        return VictimInfo(
+            set_index=set_index,
+            way=way,
+            block=victim.block,
+            owners=self.directory.owners_of(victim.block),
+            llc_dirty=victim.dirty,
+        )
+
+    def begin_eviction(
+        self, victim: VictimInfo, dirty_owners: Iterable[CoreId]
+    ) -> bool:
+        """Apply an eviction decision.
+
+        ``dirty_owners`` are the private owners whose copy was dirty (as
+        discovered by the engine when it back-invalidated the private
+        stacks); each will later deliver a write-back.  Returns ``True``
+        when the entry is immediately ``FREE`` (no dirty owner), in
+        which case an LLC-dirty line has gone straight to DRAM —
+        the LLC↔DRAM interface does not use the TDM bus.
+        """
+        entry = self._entries[victim.set_index][victim.way]
+        if not entry.is_valid or entry.block != victim.block:
+            raise SimulationError(
+                f"begin_eviction on stale victim: entry holds "
+                f"{entry.block!r} ({entry.state.value}), victim was {victim.block:#x}"
+            )
+        writers = set(dirty_owners)
+        self.stats.evictions += 1
+        self.extra.evictions_started += 1
+        del self._valid_index[victim.block]
+        self.directory.drop_block(victim.block)
+        self._policies[victim.set_index].on_invalidate(victim.way)
+        if writers:
+            entry.state = EntryState.PENDING_EVICT
+            entry.pending_writers = writers
+            self._pending_index[victim.block] = entry
+            self.extra.back_invalidations += len(writers)
+            return False
+        if victim.llc_dirty:
+            self.stats.dirty_evictions += 1
+            self.extra.dram_writebacks += 1
+        if victim.owners:
+            self.extra.silent_back_invalidations += len(victim.owners)
+        self._free_entry(entry)
+        return True
+
+    def complete_writeback(
+        self, core: CoreId, block: BlockAddress
+    ) -> WritebackOutcome:
+        """Deliver ``core``'s write-back of ``block`` to the LLC."""
+        pending = self._pending_index.get(block)
+        if pending is not None:
+            if core not in pending.pending_writers:
+                # An in-flight capacity write-back from a core whose
+                # ownership already ended: it cannot free the entry —
+                # its data goes straight to DRAM.
+                self.extra.dram_writebacks += 1
+                return WritebackOutcome.DRAM_DIRECT
+            pending.pending_writers.discard(core)
+            if pending.pending_writers:
+                return WritebackOutcome.PENDING
+            del self._pending_index[block]
+            self.extra.dram_writebacks += 1
+            self.stats.dirty_evictions += 1
+            self._free_entry(pending)
+            return WritebackOutcome.FREED
+        valid = self._valid_index.get(block)
+        if valid is not None:
+            # Ownership already ended when the private copy left the L2
+            # (note_private_drop); if the core has re-fetched the block
+            # since, it is a legitimate owner again and must stay one.
+            valid.dirty = True
+            return WritebackOutcome.UPDATED
+        # The line left the LLC while this write-back sat in the PWB;
+        # the data still has a home in DRAM.
+        self.extra.dram_writebacks += 1
+        return WritebackOutcome.DRAM_DIRECT
+
+    def _free_entry(self, entry: LlcEntry) -> None:
+        entry.state = EntryState.FREE
+        entry.block = None
+        entry.dirty = False
+        entry.pending_writers.clear()
+        self.extra.entries_freed += 1
+
+    # ------------------------------------------------------------------
+    # Introspection and invariants
+    # ------------------------------------------------------------------
+    def occupancy(self) -> int:
+        """Number of ``VALID`` entries LLC-wide."""
+        return len(self._valid_index)
+
+    def pending_evictions(self) -> int:
+        """Number of ``PENDING_EVICT`` entries LLC-wide."""
+        return len(self._pending_index)
+
+    def resident_blocks(self) -> List[BlockAddress]:
+        """All ``VALID`` blocks."""
+        return list(self._valid_index)
+
+    def validate(self) -> None:
+        """Check internal invariants; raises :class:`SimulationError`.
+
+        Verified properties: index consistency, exclusive state per
+        entry, and that ``PENDING_EVICT`` entries await at least one
+        writer.
+        """
+        valid_seen = 0
+        pending_seen = 0
+        for row in self._entries:
+            for entry in row:
+                if entry.is_valid:
+                    valid_seen += 1
+                    if entry.block is None:
+                        raise SimulationError("VALID entry without a block")
+                    if self._valid_index.get(entry.block) is not entry:
+                        raise SimulationError(
+                            f"valid index out of sync for block {entry.block:#x}"
+                        )
+                elif entry.is_pending:
+                    pending_seen += 1
+                    if entry.block is None:
+                        raise SimulationError("PENDING_EVICT entry without a block")
+                    if not entry.pending_writers:
+                        raise SimulationError(
+                            f"PENDING_EVICT entry for block {entry.block:#x} "
+                            "awaits no writer"
+                        )
+                    if self._pending_index.get(entry.block) is not entry:
+                        raise SimulationError(
+                            f"pending index out of sync for block {entry.block:#x}"
+                        )
+                else:
+                    if entry.block is not None or entry.pending_writers:
+                        raise SimulationError("FREE entry with residual state")
+        if valid_seen != len(self._valid_index):
+            raise SimulationError("valid index size mismatch")
+        if pending_seen != len(self._pending_index):
+            raise SimulationError("pending index size mismatch")

@@ -1,0 +1,131 @@
+"""Physical address decomposition for set-associative caches.
+
+A cache with ``line_size``-byte lines and ``num_sets`` sets splits a
+physical address into::
+
+    +---------------------- tag ----------------------+-- index --+- offset -+
+    address // (line_size * num_sets)                  set index    in-line
+
+All caches in the system share the line size (64 bytes in the paper's
+evaluation, Section 5) but differ in set count, so each cache owns an
+:class:`AddressGeometry`.
+
+:class:`AddressRange` models the paper's synthetic workloads, which draw
+random addresses from disjoint per-core byte ranges (Section 5,
+"Workload generation").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.common.errors import GeometryError
+from repro.common.intmath import ilog2
+from repro.common.types import Address, BlockAddress
+from repro.common.validation import require_power_of_two
+
+
+@dataclass(frozen=True)
+class AddressGeometry:
+    """Tag/index/offset decomposition for one cache level.
+
+    Parameters
+    ----------
+    line_size:
+        Cache line size in bytes; must be a power of two.
+    num_sets:
+        Number of sets the cache indexes into; must be a power of two.
+    """
+
+    line_size: int
+    num_sets: int
+
+    def __post_init__(self) -> None:
+        require_power_of_two(self.line_size, "line_size", GeometryError)
+        require_power_of_two(self.num_sets, "num_sets", GeometryError)
+
+    @property
+    def offset_bits(self) -> int:
+        """Number of in-line offset bits."""
+        return ilog2(self.line_size)
+
+    @property
+    def index_bits(self) -> int:
+        """Number of set-index bits."""
+        return ilog2(self.num_sets)
+
+    def block_of(self, address: Address) -> BlockAddress:
+        """The cache-line (block) address containing ``address``."""
+        if address < 0:
+            raise GeometryError(f"address must be non-negative, got {address}")
+        return address >> self.offset_bits
+
+    def set_index(self, address: Address) -> int:
+        """The set index ``address`` maps to."""
+        return self.block_of(address) & (self.num_sets - 1)
+
+    def tag_of(self, address: Address) -> int:
+        """The tag bits of ``address``."""
+        return self.block_of(address) >> self.index_bits
+
+    def set_index_of_block(self, block: BlockAddress) -> int:
+        """The set index a block address maps to."""
+        if block < 0:
+            raise GeometryError(f"block must be non-negative, got {block}")
+        return block & (self.num_sets - 1)
+
+    def tag_of_block(self, block: BlockAddress) -> int:
+        """The tag bits of a block address."""
+        if block < 0:
+            raise GeometryError(f"block must be non-negative, got {block}")
+        return block >> self.index_bits
+
+    def block_base_address(self, block: BlockAddress) -> Address:
+        """The first byte address of a block."""
+        return block << self.offset_bits
+
+
+@dataclass(frozen=True)
+class AddressRange:
+    """A half-open byte range ``[base, base + size)``.
+
+    The paper's workload generator gives each core a *disjoint* address
+    range so that no data is shared between cores (Section 5).  The
+    range size is the knob swept on the x-axis of Figures 7 and 8.
+    """
+
+    base: Address
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.base < 0:
+            raise GeometryError(f"range base must be non-negative, got {self.base}")
+        if self.size <= 0:
+            raise GeometryError(f"range size must be positive, got {self.size}")
+
+    @property
+    def end(self) -> Address:
+        """One past the last byte of the range."""
+        return self.base + self.size
+
+    def __contains__(self, address: Address) -> bool:
+        return self.base <= address < self.end
+
+    def overlaps(self, other: "AddressRange") -> bool:
+        """Whether the two byte ranges intersect."""
+        return self.base < other.end and other.base < self.end
+
+    def blocks(self, line_size: int) -> Iterator[BlockAddress]:
+        """Iterate over the block addresses the range touches."""
+        require_power_of_two(line_size, "line_size", GeometryError)
+        first = self.base // line_size
+        last = (self.end - 1) // line_size
+        return iter(range(first, last + 1))
+
+    def num_blocks(self, line_size: int) -> int:
+        """Number of distinct cache lines the range touches."""
+        require_power_of_two(line_size, "line_size", GeometryError)
+        first = self.base // line_size
+        last = (self.end - 1) // line_size
+        return last - first + 1

@@ -1,0 +1,111 @@
+"""The set sequencer facade: QLT + SQ (Figure 6).
+
+The slot engine talks to this class only:
+
+* :meth:`register` — a request missed and could not complete; record it
+  in broadcast order (idempotent per outstanding request).
+* :meth:`may_claim` — may this core take a free entry in this set now?
+  True iff the core heads the set's queue (or was never sequenced, e.g.
+  after a QLT overflow).
+* :meth:`complete` — the core's request finished; pop it and recycle
+  the queue if drained.
+* :meth:`cancel` — the request stopped needing an allocation (it became
+  a hit because a sharer fetched the same line).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Set, Tuple
+
+from repro.common.types import CoreId
+from repro.sequencer.qlt import QueueLookupTable
+
+
+@dataclass
+class SequencerStats:
+    """Occupancy and traffic counters for the set sequencer."""
+
+    registrations: int = 0
+    completions: int = 0
+    cancellations: int = 0
+    head_grants: int = 0
+    blocked_not_head: int = 0
+    max_active_sets: int = 0
+
+
+class SetSequencer:
+    """Orders pending misses per LLC set in bus-broadcast order."""
+
+    def __init__(self, num_sets: int, max_queues: Optional[int] = None) -> None:
+        self.qlt = QueueLookupTable(num_sets, max_queues)
+        self.stats = SequencerStats()
+        # core -> set it is queued for (a core has one outstanding request)
+        self._queued_set: Dict[CoreId, int] = {}
+        # cores whose registration overflowed the QLT (handled best-effort)
+        self._unsequenced: Set[CoreId] = set()
+
+    def is_queued(self, core: CoreId) -> bool:
+        """Whether ``core`` currently has a sequenced pending miss."""
+        return core in self._queued_set
+
+    def queued_set_of(self, core: CoreId) -> Optional[int]:
+        """The set ``core`` is queued for, if any."""
+        return self._queued_set.get(core)
+
+    def register(self, core: CoreId, set_index: int) -> None:
+        """Record ``core``'s pending miss on ``set_index`` (idempotent)."""
+        if core in self._queued_set or core in self._unsequenced:
+            return
+        queue = self.qlt.acquire(set_index)
+        if queue is None:
+            self._unsequenced.add(core)
+            return
+        queue.enqueue(core)
+        self._queued_set[core] = set_index
+        self.stats.registrations += 1
+        self.stats.max_active_sets = max(
+            self.stats.max_active_sets, self.qlt.active_entries
+        )
+
+    def may_claim(self, core: CoreId, set_index: int) -> bool:
+        """Whether ``core`` may take a free entry in ``set_index`` now."""
+        queue = self.qlt.queue_for(set_index)
+        if queue is None or queue.is_empty:
+            return True
+        if queue.head == core:
+            self.stats.head_grants += 1
+            return True
+        self.stats.blocked_not_head += 1
+        return False
+
+    def complete(self, core: CoreId, set_index: int) -> None:
+        """``core``'s request completed; release its queue position."""
+        if core in self._unsequenced:
+            self._unsequenced.discard(core)
+            return
+        queued_set = self._queued_set.pop(core, None)
+        if queued_set is None:
+            return  # completed on first attempt; never registered
+        queue = self.qlt.queue_for(queued_set)
+        if queue is not None:
+            queue.pop_head(core)
+            self.qlt.release_if_empty(queued_set)
+        self.stats.completions += 1
+
+    def cancel(self, core: CoreId) -> None:
+        """``core`` no longer needs an allocation (from any position)."""
+        self._unsequenced.discard(core)
+        queued_set = self._queued_set.pop(core, None)
+        if queued_set is None:
+            return
+        queue = self.qlt.queue_for(queued_set)
+        if queue is not None:
+            queue.remove(core)
+            self.qlt.release_if_empty(queued_set)
+        self.stats.cancellations += 1
+
+    def queue_snapshot(self, set_index: int) -> Tuple[CoreId, ...]:
+        """Cores queued for ``set_index``, head first (for tests/logs)."""
+        queue = self.qlt.queue_for(set_index)
+        return queue.snapshot() if queue is not None else ()

@@ -1,0 +1,77 @@
+"""A single FIFO queue of the Sequencer (SQ) structure.
+
+One queue holds the cores with a pending miss on one LLC set, in the
+order their requests were first broadcast on the shared bus (Figure 6:
+"set sequencer stores the order in which the requests arrived at the
+LLC (broadcast order on the shared bus)").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.common.errors import SimulationError
+from repro.common.types import CoreId
+
+
+class SequencerQueue:
+    """FIFO of cores awaiting a free entry in one LLC set."""
+
+    def __init__(self, queue_id: int) -> None:
+        self.queue_id = queue_id
+        self._cores: Deque[CoreId] = deque()
+        self.max_depth = 0
+
+    def __len__(self) -> int:
+        return len(self._cores)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._cores
+
+    @property
+    def head(self) -> Optional[CoreId]:
+        """Core entitled to the next freed entry, if any."""
+        return self._cores[0] if self._cores else None
+
+    def contains(self, core: CoreId) -> bool:
+        """Whether ``core`` is queued here."""
+        return core in self._cores
+
+    def enqueue(self, core: CoreId) -> None:
+        """Append ``core``; each core may appear at most once.
+
+        A core has at most one outstanding request (Section 3), so a
+        duplicate enqueue indicates an engine bug.
+        """
+        if core in self._cores:
+            raise SimulationError(
+                f"core {core} already queued in sequencer queue {self.queue_id}"
+            )
+        self._cores.append(core)
+        self.max_depth = max(self.max_depth, len(self._cores))
+
+    def pop_head(self, core: CoreId) -> None:
+        """Remove ``core`` from the head (its request completed)."""
+        if not self._cores or self._cores[0] != core:
+            raise SimulationError(
+                f"core {core} popped from queue {self.queue_id} but head is "
+                f"{self._cores[0] if self._cores else None}"
+            )
+        self._cores.popleft()
+
+    def remove(self, core: CoreId) -> bool:
+        """Remove ``core`` from any position (request cancelled or hit).
+
+        Returns whether it was present.
+        """
+        try:
+            self._cores.remove(core)
+            return True
+        except ValueError:
+            return False
+
+    def snapshot(self) -> tuple[CoreId, ...]:
+        """The queued cores, head first."""
+        return tuple(self._cores)

@@ -1,0 +1,29 @@
+"""The slot-accurate trace-driven simulator.
+
+This package reproduces the paper's "in-house trace simulator that
+simulates the cache subsystem of a four-core system" (Section 5),
+generalised to any core count, geometry and partition map.  Time
+advances in TDM bus slots; private-cache execution is folded between
+slot boundaries.
+"""
+
+from repro.sim.config import SystemConfig
+from repro.sim.events import EventKind, SimEvent, EventLog
+from repro.sim.report import CoreReport, RequestRecord, SimReport
+from repro.sim.simulator import Simulator, simulate
+from repro.sim.sweeps import SweepResult, compare_configs, sweep_seeds
+
+__all__ = [
+    "SystemConfig",
+    "EventKind",
+    "SimEvent",
+    "EventLog",
+    "CoreReport",
+    "RequestRecord",
+    "SimReport",
+    "Simulator",
+    "simulate",
+    "SweepResult",
+    "compare_configs",
+    "sweep_seeds",
+]

@@ -1,0 +1,186 @@
+"""System configuration: everything needed to build one simulated system.
+
+Defaults reproduce the paper's evaluation platform (Section 5): four
+cores, a 4-way × 16-set private L2, a 16-way × 32-set LLC, 64-byte
+lines, a 1S-TDM bus.  The slot width of 50 cycles is inferred from the
+paper's analytical numbers (Figure 7: the SS bound of 5000 cycles equals
+``(2·3·4+1)·4·SW``, so ``SW = 50``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.bus.arbiter import ArbitrationPolicy
+from repro.bus.schedule import TdmSchedule, one_slot_tdm
+from repro.common.errors import ConfigurationError
+from repro.common.validation import require, require_non_negative, require_positive
+from repro.cpu.private_stack import PrivateStackConfig
+from repro.llc.partition import PartitionMap, PartitionSpec
+from repro.mem.dram import DramConfig
+
+#: Slot width implied by the paper's Figure 7 analytical WCLs.
+PAPER_SLOT_WIDTH = 50
+
+#: The paper's LLC geometry (Section 5).
+PAPER_LLC_SETS = 32
+PAPER_LLC_WAYS = 16
+PAPER_LINE_SIZE = 64
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Full description of one simulated platform.
+
+    Parameters
+    ----------
+    partitions:
+        The LLC carving; every core in ``range(num_cores)`` must belong
+        to exactly one partition.
+    schedule:
+        Explicit TDM schedule.  When ``None``, a 1S-TDM schedule over
+        ``num_cores`` cores in core order is built (the paper's
+        ``{c_ua, c_2, ..., c_N}``).  Passing a non-1S-TDM schedule is
+        allowed — that is how the Section 4.1 unbounded scenario is
+        demonstrated — but shared partitions then lose their WCL bound.
+    llc_hit_latency / llc_miss_latency:
+        Cycles from slot start to the response for an LLC hit / for a
+        miss that allocates and fetches from DRAM.  Both must fit in a
+        slot: the model (and the analysis) require the LLC to respond
+        within the requester's slot.
+    max_slots:
+        Safety stop; a simulation exceeding it reports ``timed_out``
+        instead of hanging (used to *detect* starvation).
+    """
+
+    num_cores: int = 4
+    partitions: Sequence[PartitionSpec] = ()
+    slot_width: int = PAPER_SLOT_WIDTH
+    schedule: Optional[TdmSchedule] = None
+    schedule_order: Optional[Sequence[int]] = None
+    line_size: int = PAPER_LINE_SIZE
+    llc_sets: int = PAPER_LLC_SETS
+    llc_ways: int = PAPER_LLC_WAYS
+    llc_policy: str = "lru"
+    llc_hit_latency: int = 20
+    llc_miss_latency: int = 45
+    stack: PrivateStackConfig = field(default_factory=PrivateStackConfig)
+    arbitration: ArbitrationPolicy = ArbitrationPolicy.ROUND_ROBIN
+    dram: DramConfig = field(default_factory=DramConfig)
+    seed: int = 1
+    max_slots: int = 2_000_000
+    record_events: bool = False
+    drain_writebacks: bool = True
+    #: Whether a dirty victim owned by the *requesting* core is written
+    #: back within the same slot (the requester already holds the bus,
+    #: so the victim data can ride along with its request).  True makes
+    #: the private-partition critical path match the paper's analytical
+    #: ``(2N+1)·SW`` (450 cycles in Figure 7).  False routes
+    #: self-evictions through the PWB like any other write-back, which
+    #: reproduces the Figure 8 regime where strict partitions pay an
+    #: extra write-back round trip per conflict miss.
+    self_writeback_in_slot: bool = True
+    #: Hardware queue count of each partition's set sequencer (QLT
+    #: size).  ``None`` gives one queue per LLC set (never overflows,
+    #: the paper's implicit assumption); small values let experiments
+    #: study graceful degradation — an overflowed registration falls
+    #: back to best-effort (NSS) handling for that request.
+    sequencer_max_queues: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        require_positive(self.num_cores, "num_cores", ConfigurationError)
+        require_positive(self.slot_width, "slot_width", ConfigurationError)
+        require_positive(self.line_size, "line_size", ConfigurationError)
+        require_positive(self.llc_sets, "llc_sets", ConfigurationError)
+        require_positive(self.llc_ways, "llc_ways", ConfigurationError)
+        require_positive(self.llc_hit_latency, "llc_hit_latency", ConfigurationError)
+        require_positive(self.llc_miss_latency, "llc_miss_latency", ConfigurationError)
+        require_non_negative(self.seed, "seed", ConfigurationError)
+        require_positive(self.max_slots, "max_slots", ConfigurationError)
+        if self.sequencer_max_queues is not None:
+            require_positive(
+                self.sequencer_max_queues, "sequencer_max_queues", ConfigurationError
+            )
+        require(
+            self.llc_hit_latency <= self.slot_width,
+            f"llc_hit_latency ({self.llc_hit_latency}) must fit in a slot "
+            f"({self.slot_width}): the LLC responds within the requester's slot",
+            ConfigurationError,
+        )
+        require(
+            self.llc_miss_latency <= self.slot_width,
+            f"llc_miss_latency ({self.llc_miss_latency}) must fit in a slot "
+            f"({self.slot_width}): the LLC responds within the requester's slot",
+            ConfigurationError,
+        )
+        require(
+            self.dram.fetch_latency <= self.llc_miss_latency,
+            f"llc_miss_latency ({self.llc_miss_latency}) must cover the DRAM "
+            f"fetch ({self.dram.fetch_latency})",
+            ConfigurationError,
+        )
+        require(
+            bool(self.partitions),
+            "SystemConfig needs at least one partition",
+            ConfigurationError,
+        )
+        require(
+            not (self.schedule is not None and self.schedule_order is not None),
+            "give either schedule or schedule_order, not both",
+            ConfigurationError,
+        )
+        # Validate the carving and core coverage eagerly.
+        partition_map = self.build_partition_map()
+        covered = set(partition_map.cores)
+        expected = set(range(self.num_cores))
+        require(
+            covered == expected,
+            f"partitions must cover exactly cores {sorted(expected)}, "
+            f"got {sorted(covered)}",
+            ConfigurationError,
+        )
+        schedule = self.build_schedule()
+        require(
+            set(schedule.cores) == expected,
+            f"schedule must cover exactly cores {sorted(expected)}, "
+            f"got {sorted(schedule.cores)}",
+            ConfigurationError,
+        )
+        require(
+            schedule.slot_width == self.slot_width,
+            f"schedule slot width {schedule.slot_width} != config slot_width "
+            f"{self.slot_width}",
+            ConfigurationError,
+        )
+
+    def build_partition_map(self) -> PartitionMap:
+        """Validate and return the LLC carving."""
+        return PartitionMap(list(self.partitions), self.llc_sets, self.llc_ways)
+
+    def build_schedule(self) -> TdmSchedule:
+        """The TDM schedule the bus will follow."""
+        if self.schedule is not None:
+            return self.schedule
+        return one_slot_tdm(self.num_cores, self.slot_width, self.schedule_order)
+
+    @property
+    def period_cycles(self) -> int:
+        """Cycles per TDM period."""
+        return self.build_schedule().period_cycles
+
+    def describe(self) -> str:
+        """One-paragraph human-readable summary."""
+        schedule = self.build_schedule()
+        parts = ", ".join(
+            f"{p.name}({p.num_sets}x{p.num_ways}w, cores={list(p.cores)}"
+            f"{', SS' if p.sequencer else ''})"
+            for p in self.partitions
+        )
+        return (
+            f"{self.num_cores} cores, LLC {self.llc_sets}x{self.llc_ways}w "
+            f"{self.line_size}B lines, SW={self.slot_width}, "
+            f"schedule={list(schedule.slot_owners)} "
+            f"({'1S-TDM' if schedule.is_one_slot else 'general TDM'}), "
+            f"partitions: {parts}"
+        )

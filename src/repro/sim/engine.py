@@ -1,0 +1,501 @@
+"""The slot engine: drives a :class:`~repro.sim.system.System` in TDM slots.
+
+The engine owns the simulation clock.  Each iteration handles one bus
+slot:
+
+1. every core's private execution is advanced up to the slot boundary
+   (an L2 miss parks a request in that core's PRB and blocks the core);
+2. the slot's owner arbitrates PRB vs PWB (round-robin, Section 3) and
+   performs at most one bus transaction;
+3. the transaction's LLC effects — hit response, allocation, eviction
+   with back-invalidation, or write-back delivery — are applied within
+   the slot.
+
+The rules the paper's analysis depends on are implemented here and only
+here:
+
+* **Inclusive eviction costs a slot.**  A victim cached dirty by some
+  core leaves its LLC entry ``PENDING_EVICT`` until that core spends a
+  slot on the write-back (Figures 2–4).
+* **Completion rule** (Lemma 4.4).  If the owner sends a *request* and a
+  usable free entry exists — including one freed in this very slot by a
+  clean eviction — the request completes within the slot.
+* **One eviction in flight per waiting requester.**  A new victim is
+  chosen only while ``free + pending`` entries cannot cover the
+  region's broadcast requesters — the Theorem 4.8 worst case, where
+  every queued request waits on its own in-flight eviction, without
+  ever draining a set further than contention justifies.
+* **Sequencer order** (Section 4.5).  Under SS, a free entry may only be
+  claimed by the head of the set's FIFO; everyone else's slot passes
+  unfulfilled.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.bus.buffers import (
+    PendingRequest,
+    WritebackEntry,
+    WritebackReason,
+)
+from repro.common.errors import SimulationError
+from repro.common.types import CoreId, Cycle, SlotIndex, TransactionKind
+from repro.llc.llc import VictimInfo, WritebackOutcome
+from repro.sim.events import EventKind, EventLog, SimEvent
+from repro.sim.report import SimReport, build_report
+from repro.sim.system import System
+
+
+class SlotEngine:
+    """Runs one system to completion (or to the slot limit)."""
+
+    def __init__(self, system: System) -> None:
+        self.system = system
+        self.config = system.config
+        self.schedule = system.schedule
+        self.events = EventLog(enabled=self.config.record_events)
+        # Event emission sites are guarded with
+        # ``self._events_on and self.events.append(SimEvent(...))`` so
+        # the (hot-path) SimEvent construction is skipped entirely when
+        # recording is off — the log would drop it anyway.
+        self._events_on = self.config.record_events
+        self._completed: List[PendingRequest] = []
+        self._slot: SlotIndex = 0
+        self._finished_cores: set[CoreId] = set()
+        # Per-core slot usage: how each core spent its bus slots.
+        self._slot_usage: dict[CoreId, dict[str, int]] = {
+            core: {"idle": 0, "request": 0, "writeback": 0}
+            for core in system.cores
+        }
+
+    # ------------------------------------------------------------------
+    # Top level
+    # ------------------------------------------------------------------
+    def run(self) -> SimReport:
+        """Simulate until every trace finishes (and write-backs drain)."""
+        timed_out = False
+        while not self._finished():
+            if self._slot >= self.config.max_slots:
+                timed_out = True
+                break
+            slot_start = self.schedule.slot_start(self._slot)
+            # Advance through slot_start inclusive: a miss occurring
+            # exactly at the boundary is in the PRB "at the beginning of
+            # the core's slot" (Section 3) and may use this slot.
+            for core_id in self.system.cores:
+                self._advance_core(core_id, slot_start + 1)
+            owner = self.schedule.owner_of_slot(self._slot)
+            self._do_slot(owner, slot_start)
+            self._slot += 1
+        return build_report(
+            system=self.system,
+            completed=self._completed,
+            total_slots=self._slot,
+            timed_out=timed_out,
+            events=self.events,
+            slot_usage=self._slot_usage,
+        )
+
+    def _finished(self) -> bool:
+        cores_done = all(core.done for core in self.system.cores.values())
+        if not cores_done:
+            return False
+        if not self.config.drain_writebacks:
+            return True
+        return all(pwb.is_empty for pwb in self.system.pwbs.values())
+
+    # ------------------------------------------------------------------
+    # Core-side progress
+    # ------------------------------------------------------------------
+    def _advance_core(self, core_id: CoreId, until: Cycle) -> None:
+        core = self.system.cores[core_id]
+        miss = core.advance(until)
+        if miss is not None:
+            self.system.prbs[core_id].push(
+                PendingRequest(
+                    core=core_id,
+                    block=miss.block,
+                    access=miss.access,
+                    enqueued_at=miss.at_cycle,
+                )
+            )
+        if core.done and core_id not in self._finished_cores:
+            self._finished_cores.add(core_id)
+            self._events_on and self.events.append(
+                SimEvent(
+                    cycle=core.finish_time or 0,
+                    slot=self._slot,
+                    kind=EventKind.CORE_DONE,
+                    core=core_id,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Slot processing
+    # ------------------------------------------------------------------
+    def _do_slot(self, owner: CoreId, slot_start: Cycle) -> None:
+        prb = self.system.prbs[owner]
+        pwb = self.system.pwbs[owner]
+        request = prb.entry
+        writeback = pwb.peek()
+        has_request = request is not None and request.enqueued_at <= slot_start
+        has_writeback = writeback is not None and writeback.enqueued_at <= slot_start
+        kind = self.system.arbiters[owner].choose(has_request, has_writeback)
+        if kind is None:
+            self._slot_usage[owner]["idle"] += 1
+            self._events_on and self.events.append(
+                SimEvent(slot_start, self._slot, EventKind.SLOT_IDLE, core=owner)
+            )
+            return
+        if kind is TransactionKind.WRITE_BACK:
+            self._slot_usage[owner]["writeback"] += 1
+            self._do_writeback(owner, slot_start)
+        else:
+            self._slot_usage[owner]["request"] += 1
+            self._do_request(owner, slot_start)
+
+    def _do_writeback(self, core: CoreId, slot_start: Cycle) -> None:
+        entry = self.system.pwbs[core].pop()
+        pending = self.system.llc.pending_entry(entry.block)
+        outcome = self.system.llc.complete_writeback(core, entry.block)
+        if outcome in (WritebackOutcome.FREED, WritebackOutcome.DRAM_DIRECT):
+            self.system.dram.write_back(entry.block, slot_start)
+        self._events_on and self.events.append(
+            SimEvent(
+                cycle=slot_start,
+                slot=self._slot,
+                kind=EventKind.WB_SENT,
+                core=core,
+                block=entry.block,
+                detail=f"{entry.reason.value}->{outcome.value}",
+            )
+        )
+        if outcome is WritebackOutcome.FREED:
+            assert pending is not None
+            self._events_on and self.events.append(
+                SimEvent(
+                    cycle=slot_start,
+                    slot=self._slot,
+                    kind=EventKind.ENTRY_FREED,
+                    core=core,
+                    block=entry.block,
+                    set_index=pending.set_index,
+                    way=pending.way,
+                )
+            )
+
+    def _do_request(self, core: CoreId, slot_start: Cycle) -> None:
+        llc = self.system.llc
+        request = self.system.prbs[core].entry
+        assert request is not None
+        request.bus_attempts += 1
+        if request.first_on_bus_at is None:
+            request.first_on_bus_at = slot_start
+        self._events_on and self.events.append(
+            SimEvent(
+                cycle=slot_start,
+                slot=self._slot,
+                kind=EventKind.REQ_BROADCAST,
+                core=core,
+                block=request.block,
+            )
+        )
+        sequencer = self.system.sequencer_for(core)
+        set_index = llc.fold(core, request.block)
+
+        hit = llc.lookup(core, request.block)
+        if hit is not None:
+            request.served_by_hit = True
+            llc.add_owner(core, request.block)
+            if sequencer is not None:
+                # A sharer fetched the line while we were queued.
+                sequencer.cancel(core)
+            self._events_on and self.events.append(
+                SimEvent(
+                    cycle=slot_start,
+                    slot=self._slot,
+                    kind=EventKind.LLC_HIT,
+                    core=core,
+                    block=request.block,
+                    set_index=hit.set_index,
+                    way=hit.way,
+                )
+            )
+            self._complete_request(
+                core, request, slot_start + self.config.llc_hit_latency
+            )
+            return
+
+        # A request for a block whose own eviction is still awaiting a
+        # write-back cannot allocate (the block would be resident twice);
+        # it waits for the entry to free.
+        if llc.block_is_pending(request.block):
+            if sequencer is not None:
+                sequencer.register(core, set_index)
+            self._events_on and self.events.append(
+                SimEvent(
+                    cycle=slot_start,
+                    slot=self._slot,
+                    kind=EventKind.BLOCKED_FULL,
+                    core=core,
+                    block=request.block,
+                    set_index=set_index,
+                    detail="own-block-pending-evict",
+                )
+            )
+            return
+
+        # Miss path.  Try to claim a free entry; failing that, make sure
+        # an eviction is in flight, which may free an entry within this
+        # very slot (clean victim) and still satisfy us.
+        if self._try_allocate(core, request, sequencer, set_index, slot_start):
+            return
+
+        if sequencer is not None:
+            sequencer.register(core, set_index)
+            self._events_on and self.events.append(
+                SimEvent(
+                    cycle=slot_start,
+                    slot=self._slot,
+                    kind=EventKind.SEQ_REGISTER,
+                    core=core,
+                    block=request.block,
+                    set_index=set_index,
+                    detail=f"queue={sequencer.queue_snapshot(set_index)}",
+                )
+            )
+
+        freed_now = self._ensure_eviction(core, request, set_index, slot_start)
+        if freed_now and self._try_allocate(
+            core, request, sequencer, set_index, slot_start
+        ):
+            return
+
+        llc.extra.blocked_no_free_entry += 1
+        self._events_on and self.events.append(
+            SimEvent(
+                cycle=slot_start,
+                slot=self._slot,
+                kind=EventKind.BLOCKED_FULL,
+                core=core,
+                block=request.block,
+                set_index=set_index,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Miss helpers
+    # ------------------------------------------------------------------
+    def _try_allocate(
+        self,
+        core: CoreId,
+        request: PendingRequest,
+        sequencer,
+        set_index: int,
+        slot_start: Cycle,
+    ) -> bool:
+        """Claim a free entry if one exists and the sequencer allows it."""
+        llc = self.system.llc
+        free = llc.free_entry(core, request.block)
+        if free is None:
+            return False
+        if sequencer is not None and not sequencer.may_claim(core, set_index):
+            self._events_on and self.events.append(
+                SimEvent(
+                    cycle=slot_start,
+                    slot=self._slot,
+                    kind=EventKind.SEQ_BLOCKED,
+                    core=core,
+                    block=request.block,
+                    set_index=set_index,
+                    detail=f"head={sequencer.queue_snapshot(set_index)[:1]}",
+                )
+            )
+            return False
+        entry = llc.allocate(core, request.block)
+        self.system.dram.fetch(request.block, slot_start)
+        if sequencer is not None:
+            sequencer.complete(core, set_index)
+        self._events_on and self.events.append(
+            SimEvent(
+                cycle=slot_start,
+                slot=self._slot,
+                kind=EventKind.LLC_ALLOC,
+                core=core,
+                block=request.block,
+                set_index=set_index,
+                way=entry.way,
+            )
+        )
+        self._complete_request(
+            core, request, slot_start + self.config.llc_miss_latency
+        )
+        return True
+
+    def _region_waiters(self, core: CoreId, set_index: int) -> int:
+        """Cores of ``core``'s partition with a broadcast miss on this set.
+
+        ``core`` itself always counts (it is on the bus right now); the
+        others count once their request has been seen on the bus, which
+        is all the LLC can observe.
+        """
+        partition = self.system.llc.partition_of(core)
+        count = 0
+        for sharer in partition.cores:
+            entry = self.system.prbs[sharer].entry
+            if entry is None:
+                continue
+            if sharer != core and entry.first_on_bus_at is None:
+                continue
+            if self.system.llc.fold(sharer, entry.block) == set_index:
+                count += 1
+        return count
+
+    def _ensure_eviction(
+        self,
+        core: CoreId,
+        request: PendingRequest,
+        set_index: int,
+        slot_start: Cycle,
+    ) -> bool:
+        """Keep one eviction in flight per waiting requester.
+
+        The set sequencer's worst case (Theorem 4.8) has every queued
+        request waiting on *its own* in-flight eviction simultaneously —
+        evictions are per-requester, not per-set.  An eviction is
+        triggered only while free + pending entries cannot cover the
+        region's waiting requesters, so a lone requester never holds
+        more than one entry in flight and the set is never drained
+        below what contention justifies.
+
+        Returns True when the eviction freed its entry immediately (no
+        dirty private owner), in which case the requester may still
+        complete within this slot (Lemma 4.4's completion rule).
+        """
+        llc = self.system.llc
+        free, pending = llc.region_availability(core, request.block)
+        if free + pending >= self._region_waiters(core, set_index):
+            return False
+        victim = llc.choose_victim(core, request.block)
+        if victim is None:
+            # Region is all free/pending; nothing valid to evict.  The
+            # free case was handled by _try_allocate (sequencer said no).
+            return False
+        self._events_on and self.events.append(
+            SimEvent(
+                cycle=slot_start,
+                slot=self._slot,
+                kind=EventKind.EVICT_START,
+                core=core,
+                block=victim.block,
+                set_index=victim.set_index,
+                way=victim.way,
+                detail=f"owners={sorted(victim.owners)}",
+            )
+        )
+        dirty_owners = self._back_invalidate(victim, core, slot_start)
+        freed_now = llc.begin_eviction(victim, dirty_owners)
+        if freed_now:
+            if victim.llc_dirty:
+                self.system.dram.write_back(victim.block, slot_start)
+            self._events_on and self.events.append(
+                SimEvent(
+                    cycle=slot_start,
+                    slot=self._slot,
+                    kind=EventKind.ENTRY_FREED,
+                    core=core,
+                    block=victim.block,
+                    set_index=victim.set_index,
+                    way=victim.way,
+                    detail="clean-eviction",
+                )
+            )
+        return freed_now
+
+    def _back_invalidate(
+        self, victim: VictimInfo, requester: CoreId, slot_start: Cycle
+    ) -> List[CoreId]:
+        """Invalidate private copies of the victim; queue dirty write-backs.
+
+        A dirty copy held by the *requester itself* is written back
+        within the same slot: the requester is already on the bus, so
+        the victim data rides along with its request (this is what makes
+        the private-partition WCL ``(2N+1)·SW`` — a self-eviction never
+        costs an extra period).  Dirty copies held by *other* cores are
+        the expensive case of the paper's analysis: each costs its owner
+        a future bus slot.
+        """
+        dirty_owners: List[CoreId] = []
+        in_slot_self = self.config.self_writeback_in_slot
+        for owner in sorted(victim.owners):
+            removed = self.system.stacks[owner].invalidate_block(victim.block)
+            is_dirty = removed is not None and removed.dirty
+            if is_dirty and owner == requester and in_slot_self:
+                self.system.dram.write_back(victim.block, slot_start)
+                detail = "self-dirty-in-slot"
+            elif is_dirty:
+                dirty_owners.append(owner)
+                self.system.pwbs[owner].push(
+                    WritebackEntry(
+                        core=owner,
+                        block=victim.block,
+                        reason=WritebackReason.BACK_INVALIDATION,
+                        enqueued_at=slot_start,
+                    )
+                )
+                detail = "dirty"
+            else:
+                detail = "clean"
+            self._events_on and self.events.append(
+                SimEvent(
+                    cycle=slot_start,
+                    slot=self._slot,
+                    kind=EventKind.BACK_INVALIDATE,
+                    core=owner,
+                    block=victim.block,
+                    set_index=victim.set_index,
+                    way=victim.way,
+                    detail=detail,
+                )
+            )
+        return dirty_owners
+
+    # ------------------------------------------------------------------
+    # Completion
+    # ------------------------------------------------------------------
+    def _complete_request(
+        self, core: CoreId, request: PendingRequest, response_cycle: Cycle
+    ) -> None:
+        slot_end = self.schedule.slot_end(self._slot)
+        if response_cycle > slot_end:
+            raise SimulationError(
+                f"response at cycle {response_cycle} spills past slot end "
+                f"{slot_end}; latencies must fit in a slot"
+            )
+        self.system.prbs[core].pop()
+        request.completed_at = response_cycle
+        self._completed.append(request)
+        fill = self.system.stacks[core].fill_from_llc(request.block, request.access)
+        if fill.l2_victim is not None:
+            self.system.llc.note_private_drop(core, fill.l2_victim.block)
+            if fill.l2_victim.dirty:
+                self.system.pwbs[core].push(
+                    WritebackEntry(
+                        core=core,
+                        block=fill.l2_victim.block,
+                        reason=WritebackReason.CAPACITY,
+                        enqueued_at=response_cycle,
+                    )
+                )
+        self._events_on and self.events.append(
+            SimEvent(
+                cycle=response_cycle,
+                slot=self._slot,
+                kind=EventKind.RESPONSE,
+                core=core,
+                block=request.block,
+                detail=f"latency={request.completed_at - request.enqueued_at}",
+            )
+        )
+        self.system.cores[core].resume(response_cycle)

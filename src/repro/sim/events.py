@@ -1,0 +1,105 @@
+"""Structured simulation events.
+
+When a simulation runs with ``record_events=True``, the engine appends
+one :class:`SimEvent` per observable action.  The event log is how the
+paper's step-by-step figures (Figures 2, 3 and 4) are encoded as
+integration tests: a scripted scenario runs and the test asserts the
+exact slot-by-slot sequence of evictions, write-backs and responses.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+from repro.common.types import BlockAddress, CoreId, Cycle, SlotIndex
+
+
+class EventKind(enum.Enum):
+    """The observable actions of the slot engine."""
+
+    SLOT_IDLE = "slot-idle"
+    REQ_BROADCAST = "req-broadcast"
+    LLC_HIT = "llc-hit"
+    LLC_ALLOC = "llc-alloc"
+    EVICT_START = "evict-start"
+    BACK_INVALIDATE = "back-invalidate"
+    ENTRY_FREED = "entry-freed"
+    WB_SENT = "wb-sent"
+    RESPONSE = "response"
+    SEQ_REGISTER = "seq-register"
+    SEQ_BLOCKED = "seq-blocked"
+    BLOCKED_FULL = "blocked-full"
+    CORE_DONE = "core-done"
+
+
+@dataclass(frozen=True)
+class SimEvent:
+    """One engine action, time-stamped by cycle and bus slot."""
+
+    cycle: Cycle
+    slot: SlotIndex
+    kind: EventKind
+    core: Optional[CoreId] = None
+    block: Optional[BlockAddress] = None
+    set_index: Optional[int] = None
+    way: Optional[int] = None
+    detail: str = ""
+
+    def __str__(self) -> str:
+        parts = [f"[c{self.cycle:>7} s{self.slot:>5}] {self.kind.value}"]
+        if self.core is not None:
+            parts.append(f"core={self.core}")
+        if self.block is not None:
+            parts.append(f"block={self.block:#x}")
+        if self.set_index is not None:
+            parts.append(f"set={self.set_index}")
+        if self.way is not None:
+            parts.append(f"way={self.way}")
+        if self.detail:
+            parts.append(self.detail)
+        return " ".join(parts)
+
+
+class EventLog:
+    """Append-only event container with query helpers for tests."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._events: List[SimEvent] = []
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[SimEvent]:
+        return iter(self._events)
+
+    def append(self, event: SimEvent) -> None:
+        """Record an event (no-op when disabled)."""
+        if self.enabled:
+            self._events.append(event)
+
+    def all(self) -> List[SimEvent]:
+        """All recorded events, in order."""
+        return list(self._events)
+
+    def of_kind(self, kind: EventKind) -> List[SimEvent]:
+        """Events of one kind, in order."""
+        return [event for event in self._events if event.kind is kind]
+
+    def for_core(self, core: CoreId) -> List[SimEvent]:
+        """Events attributed to one core, in order."""
+        return [event for event in self._events if event.core == core]
+
+    def counts(self) -> Dict[EventKind, int]:
+        """Histogram of event kinds."""
+        histogram: Dict[EventKind, int] = {}
+        for event in self._events:
+            histogram[event.kind] = histogram.get(event.kind, 0) + 1
+        return histogram
+
+    def render(self, limit: Optional[int] = None) -> str:
+        """Human-readable dump (first ``limit`` events)."""
+        events = self._events if limit is None else self._events[:limit]
+        return "\n".join(str(event) for event in events)

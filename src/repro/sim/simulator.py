@@ -1,0 +1,60 @@
+"""The simulator facade: build a system, run it, return the report.
+
+This is the one-call entry point most users (and all experiment
+harnesses) go through::
+
+    from repro import SystemConfig, simulate
+    report = simulate(config, traces)
+    print(report.observed_wcl())
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.common.types import CoreId, Cycle
+from repro.sim.config import SystemConfig
+from repro.sim.engine import SlotEngine
+from repro.sim.report import SimReport
+from repro.sim.system import System
+from repro.workloads.trace import MemoryTrace
+
+
+class Simulator:
+    """Owns one built system and its engine.
+
+    Use this class directly when you need access to the wired components
+    (for scripted scenario tests or invariant checks); use
+    :func:`simulate` for the common build-run-report path.
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        traces: Mapping[CoreId, MemoryTrace],
+        start_cycles: Optional[Mapping[CoreId, Cycle]] = None,
+    ) -> None:
+        self.config = config
+        self.system = System(config, traces, start_cycles)
+        self.engine = SlotEngine(self.system)
+
+    def run(self) -> SimReport:
+        """Run to completion (or the slot cap) and return the report."""
+        report = self.engine.run()
+        # Post-run sanity: the model must leave the hierarchy coherent.
+        self.system.check_inclusivity()
+        return report
+
+
+def simulate(
+    config: SystemConfig,
+    traces: Mapping[CoreId, MemoryTrace],
+    start_cycles: Optional[Mapping[CoreId, Cycle]] = None,
+) -> SimReport:
+    """Build the system described by ``config``, replay ``traces``.
+
+    ``start_cycles`` optionally delays a core's first access — used by
+    scripted scenarios that need a precise initial cache state (e.g. the
+    Section 4.1 witness fills the set before the victim's request).
+    """
+    return Simulator(config, traces, start_cycles).run()

@@ -1,0 +1,96 @@
+"""Seed sweeps: distributional results instead of single-run numbers.
+
+A single seed gives one sample of observed WCL / execution time; the
+WCL experiments in particular care about the *maximum over runs*.  This
+module runs the same configuration across many workload seeds and
+aggregates — the standard methodology step between "we simulated once"
+and a reportable number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.common.errors import ConfigurationError
+from repro.common.types import CoreId, Cycle
+from repro.common.validation import require
+from repro.sim.config import SystemConfig
+from repro.sim.report import SimReport
+from repro.sim.simulator import simulate
+from repro.workloads.trace import MemoryTrace
+
+#: Builds one seed's per-core traces.
+TraceFactory = Callable[[int], Mapping[CoreId, MemoryTrace]]
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Aggregates over one configuration's seed sweep."""
+
+    seeds: tuple
+    observed_wcls: tuple
+    makespans: tuple
+
+    @property
+    def max_observed_wcl(self) -> Cycle:
+        """The reportable observed WCL: the max across seeds."""
+        return max(self.observed_wcls)
+
+    @property
+    def mean_makespan(self) -> float:
+        """Average execution time across seeds."""
+        return sum(self.makespans) / len(self.makespans)
+
+    @property
+    def wcl_spread(self) -> Cycle:
+        """Max minus min observed WCL (seed sensitivity)."""
+        return max(self.observed_wcls) - min(self.observed_wcls)
+
+
+def sweep_seeds(
+    config: SystemConfig,
+    trace_factory: TraceFactory,
+    seeds: Sequence[int],
+    check: Optional[Callable[[SimReport], None]] = None,
+) -> SweepResult:
+    """Run ``config`` once per seed; optionally verify each report.
+
+    ``check`` runs on every report (e.g. assert a bound); its exception
+    propagates with the offending seed attached.
+    """
+    require(bool(seeds), "sweep needs at least one seed", ConfigurationError)
+    observed: List[Cycle] = []
+    makespans: List[Cycle] = []
+    for seed in seeds:
+        report = simulate(config, trace_factory(seed))
+        if check is not None:
+            try:
+                check(report)
+            except AssertionError as exc:
+                raise AssertionError(f"seed {seed}: {exc}") from exc
+        observed.append(report.observed_wcl())
+        makespans.append(report.makespan)
+    return SweepResult(
+        seeds=tuple(seeds),
+        observed_wcls=tuple(observed),
+        makespans=tuple(makespans),
+    )
+
+
+def compare_configs(
+    configs: Mapping[str, SystemConfig],
+    trace_factory: TraceFactory,
+    seeds: Sequence[int],
+) -> Dict[str, SweepResult]:
+    """Sweep several configurations over the *same* seeded workloads.
+
+    The factory receives only the seed, so every configuration replays
+    identical traces — the paper's "same memory addresses across
+    different partitioned configurations" requirement, now across a
+    whole distribution.
+    """
+    return {
+        name: sweep_seeds(config, trace_factory, seeds)
+        for name, config in configs.items()
+    }

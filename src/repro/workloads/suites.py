@@ -1,0 +1,150 @@
+"""Named workload suites.
+
+A suite is a reproducible (seeded) bundle of per-core traces plus the
+metadata describing what it stresses.  The registry gives experiments,
+the CLI (``repro-llc workload``) and downstream users one vocabulary:
+
+========================  ====================================================
+``fig7``                  the Figure 7 WCL workload: all-write random
+                          addresses, disjoint equal ranges
+``fig8``                  the Figure 8 graded workload (core i sweeps
+                          ``range >> i``)
+``storm``                 the adversarial single-set conflict storm
+``pingpong``              the two-line deterministic ping-pong
+``readonly``              the Figure 7 workload with reads only (no
+                          write-backs anywhere — a contrast workload)
+``mixed``                 50% writes, moderate locality
+========================  ====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping
+
+from repro.common.errors import ConfigurationError
+from repro.common.types import CoreId
+from repro.workloads.adversarial import conflict_storm_traces, pingpong_traces
+from repro.workloads.synthetic import (
+    SyntheticWorkloadConfig,
+    generate_disjoint_workload,
+)
+from repro.workloads.trace import MemoryTrace
+
+
+@dataclass(frozen=True)
+class SuiteSpec:
+    """One registered workload suite."""
+
+    name: str
+    description: str
+    builder: Callable[[int, int, int, int], Mapping[CoreId, MemoryTrace]]
+
+    def build(
+        self,
+        num_cores: int,
+        num_requests: int = 500,
+        address_range: int = 4096,
+        seed: int = 2022,
+    ) -> Dict[CoreId, MemoryTrace]:
+        """Materialise the suite's traces."""
+        return dict(self.builder(num_cores, num_requests, address_range, seed))
+
+
+def _synthetic(write_fraction: float):
+    def build(num_cores, num_requests, address_range, seed):
+        config = SyntheticWorkloadConfig(
+            num_requests=num_requests,
+            address_range_size=address_range,
+            write_fraction=write_fraction,
+            seed=seed,
+        )
+        return generate_disjoint_workload(config, list(range(num_cores)))
+
+    return build
+
+
+def _fig8(num_cores, num_requests, address_range, seed):
+    from repro.experiments.fig8 import graded_workload
+
+    return graded_workload(num_cores, address_range, num_requests, seed)
+
+
+def _storm(num_cores, num_requests, address_range, seed):
+    lines_per_core = max(4, address_range // 64 // max(num_cores, 1))
+    repeats = max(1, num_requests // lines_per_core)
+    return conflict_storm_traces(
+        cores=list(range(num_cores)),
+        partition_sets=1,
+        lines_per_core=lines_per_core,
+        repeats=repeats,
+        seed=seed,
+    )
+
+
+def _pingpong(num_cores, num_requests, _address_range, _seed):
+    return pingpong_traces(
+        cores=list(range(num_cores)),
+        partition_sets=1,
+        repeats=max(1, num_requests // 2),
+    )
+
+
+_REGISTRY: Dict[str, SuiteSpec] = {}
+
+
+def register_suite(spec: SuiteSpec) -> None:
+    """Add a suite to the registry (rejects duplicate names)."""
+    if spec.name in _REGISTRY:
+        raise ConfigurationError(f"workload suite {spec.name!r} already registered")
+    _REGISTRY[spec.name] = spec
+
+
+def get_suite(name: str) -> SuiteSpec:
+    """Look a suite up by name."""
+    spec = _REGISTRY.get(name)
+    if spec is None:
+        raise ConfigurationError(
+            f"unknown workload suite {name!r}; available: {', '.join(suite_names())}"
+        )
+    return spec
+
+
+def suite_names() -> List[str]:
+    """All registered suite names, sorted."""
+    return sorted(_REGISTRY)
+
+
+for _spec in (
+    SuiteSpec(
+        "fig7",
+        "Figure 7 WCL workload: all-write random, disjoint equal ranges",
+        _synthetic(1.0),
+    ),
+    SuiteSpec(
+        "fig8",
+        "Figure 8 graded workload: core i sweeps range >> i",
+        _fig8,
+    ),
+    SuiteSpec(
+        "storm",
+        "adversarial single-set conflict storm (all writes)",
+        _storm,
+    ),
+    SuiteSpec(
+        "pingpong",
+        "two-line deterministic ping-pong per core on one set",
+        _pingpong,
+    ),
+    SuiteSpec(
+        "readonly",
+        "Figure 7 workload with reads only (no write-backs)",
+        _synthetic(0.0),
+    ),
+    SuiteSpec(
+        "mixed",
+        "50% writes, disjoint equal ranges",
+        _synthetic(0.5),
+    ),
+):
+    register_suite(_spec)

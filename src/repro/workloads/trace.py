@@ -1,0 +1,158 @@
+"""Memory traces: the input format of the trace-driven simulator.
+
+A trace is an ordered list of :class:`TraceRecord` (byte address +
+access type + optional compute gap).  The on-disk format is one record
+per line::
+
+    # comment
+    R 0x1a40
+    W 0x1a80 +120
+    I 0x0400
+
+The optional ``+N`` suffix is the number of cycles the core computes
+*before* issuing the access — how CPU-bound phases between memory
+operations are expressed.  The format is trivially diffable and
+versionable — the property that lets the paper replay "the same memory
+addresses across different partitioned configurations" (Section 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, List, Sequence, Union, overload
+
+from repro.common.errors import TraceError
+from repro.common.types import AccessType, Address
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One memory access of a core's task.
+
+    ``compute_cycles`` is the think time the core spends *before*
+    issuing this access (0 for back-to-back memory operations).
+    """
+
+    address: Address
+    access: AccessType = AccessType.READ
+    compute_cycles: int = 0
+
+    def __post_init__(self) -> None:
+        if self.address < 0:
+            raise TraceError(f"trace address must be non-negative, got {self.address}")
+        if self.compute_cycles < 0:
+            raise TraceError(
+                f"compute_cycles must be non-negative, got {self.compute_cycles}"
+            )
+
+    def to_line(self) -> str:
+        """Serialise to the one-line text form."""
+        base = f"{self.access.value} {self.address:#x}"
+        if self.compute_cycles:
+            return f"{base} +{self.compute_cycles}"
+        return base
+
+    @classmethod
+    def from_line(cls, line: str) -> "TraceRecord":
+        """Parse the one-line text form."""
+        parts = line.split()
+        if len(parts) not in (2, 3):
+            raise TraceError(f"malformed trace line: {line!r}")
+        type_token, address_token = parts[0], parts[1]
+        try:
+            access = AccessType.from_token(type_token)
+        except ValueError as exc:
+            raise TraceError(str(exc)) from None
+        try:
+            address = int(address_token, 0)
+        except ValueError:
+            raise TraceError(f"malformed address in trace line: {line!r}") from None
+        compute_cycles = 0
+        if len(parts) == 3:
+            gap_token = parts[2]
+            if not gap_token.startswith("+"):
+                raise TraceError(
+                    f"compute gap must look like +N in trace line: {line!r}"
+                )
+            try:
+                compute_cycles = int(gap_token[1:])
+            except ValueError:
+                raise TraceError(
+                    f"malformed compute gap in trace line: {line!r}"
+                ) from None
+        return cls(address=address, access=access, compute_cycles=compute_cycles)
+
+
+class MemoryTrace(Sequence[TraceRecord]):
+    """An immutable ordered sequence of trace records."""
+
+    def __init__(self, records: Iterable[TraceRecord] = (), name: str = "") -> None:
+        self._records: List[TraceRecord] = list(records)
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @overload
+    def __getitem__(self, index: int) -> TraceRecord: ...
+
+    @overload
+    def __getitem__(self, index: slice) -> "MemoryTrace": ...
+
+    def __getitem__(
+        self, index: Union[int, slice]
+    ) -> Union[TraceRecord, "MemoryTrace"]:
+        if isinstance(index, slice):
+            return MemoryTrace(self._records[index], name=self.name)
+        return self._records[index]
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MemoryTrace):
+            return NotImplemented
+        return self._records == other._records
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return f"<MemoryTrace{label} len={len(self)}>"
+
+    def addresses(self) -> List[Address]:
+        """All byte addresses, in order."""
+        return [record.address for record in self._records]
+
+    def write_fraction(self) -> float:
+        """Fraction of records that are writes (0.0 for an empty trace)."""
+        if not self._records:
+            return 0.0
+        writes = sum(1 for record in self._records if record.access.is_write)
+        return writes / len(self._records)
+
+    def footprint_blocks(self, line_size: int) -> int:
+        """Number of distinct cache lines the trace touches."""
+        return len({record.address // line_size for record in self._records})
+
+
+def write_trace(trace: MemoryTrace, path: Union[str, Path]) -> None:
+    """Write a trace to disk in the text format."""
+    target = Path(path)
+    lines = [f"# trace {trace.name or target.stem}: {len(trace)} records"]
+    lines.extend(record.to_line() for record in trace)
+    target.write_text("\n".join(lines) + "\n")
+
+
+def read_trace(path: Union[str, Path], name: str = "") -> MemoryTrace:
+    """Read a trace from disk, skipping blank lines and ``#`` comments."""
+    source = Path(path)
+    records: List[TraceRecord] = []
+    for lineno, raw in enumerate(source.read_text().splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            records.append(TraceRecord.from_line(line))
+        except TraceError as exc:
+            raise TraceError(f"{source}:{lineno}: {exc}") from None
+    return MemoryTrace(records, name=name or source.stem)

@@ -1,0 +1,18 @@
+"""Pytest fixtures for the test suite (builders live in sim_helpers)."""
+
+import pytest
+
+from sim_helpers import small_config
+from repro.sim.config import SystemConfig
+
+
+@pytest.fixture
+def two_core_shared() -> SystemConfig:
+    """2 cores sharing one 4-way single-set partition, events on."""
+    return small_config(num_cores=2)
+
+
+@pytest.fixture
+def four_core_shared_ss() -> SystemConfig:
+    """4 cores sharing one 4-way single-set partition with sequencer."""
+    return small_config(num_cores=4, sequencer=True)

@@ -1,0 +1,212 @@
+"""Tests for interference decomposition and the admission planner."""
+
+import pytest
+
+from repro.analysis.admission import (
+    AdmissionPlan,
+    PlatformSpec,
+    TaskSpec,
+    plan_admission,
+)
+from repro.analysis.interference import (
+    decompose_report,
+    summarize,
+    worst_request,
+)
+from repro.analysis.wcl import wcl_private_cycles
+from repro.common.errors import AnalysisError
+from repro.llc.partition import PartitionMap
+from repro.sim.config import SystemConfig
+from repro.sim.simulator import Simulator, simulate
+from repro.workloads.adversarial import conflict_storm_traces
+
+from sim_helpers import shared_partition, small_config, write_trace_of
+
+
+class TestInterferenceDecomposition:
+    @pytest.fixture(scope="class")
+    def storm_run(self):
+        config = small_config(
+            num_cores=4,
+            partitions=[shared_partition(4, ways=4, sequencer=True)],
+            llc_sets=1,
+            llc_ways=4,
+            max_slots=200_000,
+        )
+        traces = conflict_storm_traces(
+            cores=[0, 1, 2, 3], partition_sets=1, lines_per_core=8, repeats=10
+        )
+        sim = Simulator(config, traces)
+        return sim, sim.run()
+
+    def test_every_request_decomposed(self, storm_run):
+        sim, report = storm_run
+        breakdowns = decompose_report(report, sim.system.schedule)
+        assert len(breakdowns) == len(report.requests)
+
+    def test_own_slots_fit_the_window(self, storm_run):
+        sim, report = storm_run
+        for breakdown in decompose_report(report, sim.system.schedule):
+            window_slots = breakdown.own_slots + breakdown.other_core_slots
+            window_cycles = window_slots * sim.system.schedule.slot_width
+            assert breakdown.latency <= breakdown.wait_for_first_slot + window_cycles
+
+    def test_completed_requests_have_a_service_slot(self, storm_run):
+        sim, report = storm_run
+        for breakdown in decompose_report(report, sim.system.schedule):
+            assert breakdown.service_slots >= 1
+
+    def test_storm_produces_contention_components(self, storm_run):
+        sim, report = storm_run
+        totals = summarize(decompose_report(report, sim.system.schedule))
+        assert totals["requests"] == len(report.requests)
+        # A 4-core storm on one set must block someone at some point.
+        contention = (
+            totals["blocked_full_slots"]
+            + totals["sequencer_blocked_slots"]
+            + totals["eviction_trigger_slots"]
+        )
+        assert contention > 0
+
+    def test_worst_request_is_the_wcl(self, storm_run):
+        sim, report = storm_run
+        worst = worst_request(decompose_report(report, sim.system.schedule))
+        assert worst.latency == report.observed_wcl()
+
+    def test_requires_event_log(self):
+        config = small_config(num_cores=2, record_events=False)
+        traces = {0: write_trace_of([0]), 1: write_trace_of([1])}
+        sim = Simulator(config, traces)
+        report = sim.run()
+        with pytest.raises(AnalysisError, match="record_events"):
+            decompose_report(report, sim.system.schedule)
+
+    def test_summarize_empty(self):
+        assert summarize([]) == {}
+
+    def test_worst_of_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            worst_request([])
+
+
+def task(name, core, budget, footprint=4096, sharing=True, crit="QM"):
+    return TaskSpec(
+        name=name,
+        core=core,
+        latency_budget_cycles=budget,
+        footprint_bytes=footprint,
+        allow_sharing=sharing,
+        criticality=crit,
+    )
+
+
+class TestAdmissionPlanner:
+    def platform(self, **overrides):
+        return PlatformSpec(**overrides)
+
+    def test_isolated_task_gets_private_partition(self):
+        plan = plan_admission(
+            [task("ctrl", 0, budget=500, sharing=False), task("gui", 1, budget=9000)]
+        )
+        verdict = plan.verdicts["ctrl"]
+        assert verdict.partition_name.startswith("private-")
+        assert verdict.shared_with == ()
+        assert verdict.bound_cycles == wcl_private_cycles(4, 50)
+        assert verdict.admitted
+
+    def test_generous_budgets_share_one_partition(self):
+        plan = plan_admission(
+            [task(f"t{i}", i, budget=20_000) for i in range(4)]
+        )
+        names = {v.partition_name for v in plan.verdicts.values()}
+        assert len(names) == 1
+        partition = plan.partitions[0]
+        assert partition.sequencer
+        assert partition.num_cores == 4
+        assert plan.feasible
+
+    def test_tight_budget_excluded_from_group(self):
+        # 450 < bound of any shared group => must be private.
+        plan = plan_admission(
+            [task("tight", 0, budget=450)]
+            + [task(f"t{i}", i, budget=20_000) for i in range(1, 4)]
+        )
+        assert plan.verdicts["tight"].shared_with == ()
+        assert plan.verdicts["tight"].admitted
+        assert plan.feasible
+
+    def test_group_grows_only_while_bounds_fit(self):
+        # Bound for n=2 is 2000; for n=3 it is 2600 (N=4, SW=50).
+        budgets = {"a": 2_000, "b": 2_000, "c": 50_000, "d": 50_000}
+        plan = plan_admission(
+            [task(name, core, budget) for core, (name, budget) in enumerate(budgets.items())]
+        )
+        assert plan.feasible
+        # a and b can only be with each other (n=2 bound fits, n=3 doesn't).
+        group_of_a = {plan.verdicts["a"].partition_name}
+        assert plan.verdicts["b"].partition_name in group_of_a
+
+    def test_infeasible_budget_reported_not_raised(self):
+        plan = plan_admission([task("impossible", 0, budget=100)])
+        assert not plan.feasible
+        verdict = plan.verdicts["impossible"]
+        assert not verdict.admitted
+        assert verdict.slack_cycles < 0
+
+    def test_partitions_feed_system_config(self):
+        plan = plan_admission(
+            [task(f"t{i}", i, budget=20_000, footprint=2048) for i in range(4)]
+        )
+        config = SystemConfig(
+            num_cores=4,
+            partitions=plan.partitions,
+            llc_sets=plan.platform.llc_sets,
+            llc_ways=plan.platform.llc_ways,
+        )
+        report = simulate(
+            config,
+            {core: write_trace_of([core * 64, core * 64 + 4]) for core in range(4)},
+        )
+        assert not report.timed_out
+
+    def test_footprint_drives_set_allocation(self):
+        plan = plan_admission(
+            [
+                task("big", 0, budget=400, footprint=16_384, sharing=False),
+                task("small", 1, budget=400, footprint=1_024, sharing=False),
+            ]
+        )
+        big = next(p for p in plan.partitions if p.name == "private-big")
+        small = next(p for p in plan.partitions if p.name == "private-small")
+        assert big.num_sets > small.num_sets
+
+    def test_overcommitted_llc_scaled_down(self):
+        plan = plan_admission(
+            [
+                task(f"t{i}", i, budget=400, footprint=64_000, sharing=False)
+                for i in range(4)
+            ]
+        )
+        assert plan.sets_used <= plan.platform.llc_sets
+        assert plan.utilization() <= 1.0
+        # Proportional scaling keeps everyone >= 1 set.
+        assert all(p.num_sets >= 1 for p in plan.partitions)
+
+    def test_duplicate_cores_rejected(self):
+        with pytest.raises(AnalysisError, match="one task per core"):
+            plan_admission([task("a", 0, 400), task("b", 0, 400)])
+
+    def test_core_out_of_range_rejected(self):
+        with pytest.raises(AnalysisError):
+            plan_admission([task("a", 9, 400)])
+
+    def test_empty_taskset_rejected(self):
+        with pytest.raises(AnalysisError):
+            plan_admission([])
+
+    def test_utilization_counts_granted_sets(self):
+        plan = plan_admission(
+            [task("only", 0, budget=500, footprint=2_048, sharing=False)]
+        )
+        assert plan.sets_used == 2  # ceil(2048 / (16 ways * 64B))
+        assert plan.utilization() == pytest.approx(2 / 32)

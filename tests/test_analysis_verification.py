@@ -1,0 +1,137 @@
+"""Tests for the automatic bound-compliance verifier."""
+
+import pytest
+
+from repro.analysis.verification import (
+    assert_bounds,
+    derive_core_bounds,
+    verify_bounds,
+)
+from repro.bus.schedule import TdmSchedule
+from repro.experiments.configs import build_system_for_notation, fig7_system
+from repro.llc.partition import PartitionKind
+from repro.sim.simulator import simulate
+from repro.workloads.adversarial import conflict_storm_traces
+from repro.workloads.synthetic import (
+    SyntheticWorkloadConfig,
+    generate_disjoint_workload,
+)
+
+from sim_helpers import private_partitions, shared_partition, small_config
+
+
+class TestDeriveCoreBounds:
+    def test_fig7_ss_bounds(self):
+        config = fig7_system(PartitionKind.SS)
+        bounds = derive_core_bounds(config)
+        for core in range(4):
+            assert bounds[core].rule == "theorem-4.8"
+            assert bounds[core].cycles == 5_000
+
+    def test_fig7_nss_bounds(self):
+        config = fig7_system(PartitionKind.NSS)
+        bounds = derive_core_bounds(config)
+        assert bounds[0].rule == "theorem-4.7"
+        assert bounds[0].cycles == 979_250
+
+    def test_fig7_private_bounds(self):
+        config = fig7_system(PartitionKind.P)
+        bounds = derive_core_bounds(config)
+        for core in range(4):
+            assert bounds[core].rule == "private"
+            assert bounds[core].cycles == 450
+
+    def test_mixed_layout(self):
+        config = build_system_for_notation("SS(1,16,2)", num_cores=4)
+        bounds = derive_core_bounds(config)
+        assert bounds[0].rule == "theorem-4.8"
+        assert bounds[2].rule == "private"
+
+    def test_shared_partition_under_multi_slot_tdm_is_unbounded(self):
+        config = small_config(
+            num_cores=2,
+            partitions=[shared_partition(2, ways=2)],
+            llc_sets=1,
+            llc_ways=2,
+            schedule=TdmSchedule((0, 1, 1), 50),
+        )
+        bounds = derive_core_bounds(config)
+        assert bounds[0].rule == "unbounded"
+        assert bounds[0].cycles is None
+
+    def test_private_partition_under_multi_slot_tdm_uses_worst_gap(self):
+        config = small_config(
+            num_cores=2,
+            partitions=private_partitions(2, sets_per_core=1, ways=4),
+            llc_sets=2,
+            llc_ways=4,
+            schedule=TdmSchedule((0, 1, 1), 50),
+        )
+        bounds = derive_core_bounds(config)
+        # Core 0's worst gap is 3 slots -> (2*3+1)*50.
+        assert bounds[0].cycles == 350
+        # Core 1's worst gap is 2 slots (between its slot 2 and next
+        # period's slot 1).
+        assert bounds[1].cycles == 250
+
+
+class TestVerifyBounds:
+    def test_clean_storm_has_no_violations(self):
+        config = fig7_system(PartitionKind.SS)
+        traces = conflict_storm_traces(
+            cores=[0, 1, 2, 3], partition_sets=1, lines_per_core=20, repeats=15
+        )
+        report = simulate(config, traces)
+        assert verify_bounds(report, config) == []
+        assert_bounds(report, config)  # must not raise
+
+    def test_synthetic_workload_complies(self):
+        config = fig7_system(PartitionKind.NSS)
+        workload = SyntheticWorkloadConfig(num_requests=150, address_range_size=4096)
+        traces = generate_disjoint_workload(workload, range(4))
+        report = simulate(config, traces)
+        assert_bounds(report, config)
+
+    def test_unbounded_cores_skipped(self):
+        config = small_config(
+            num_cores=2,
+            partitions=[shared_partition(2, ways=2)],
+            llc_sets=1,
+            llc_ways=2,
+            schedule=TdmSchedule((0, 1, 1), 50),
+            max_slots=5_000,
+        )
+        traces = conflict_storm_traces(
+            cores=[0, 1], partition_sets=1, lines_per_core=6, repeats=10
+        )
+        report = simulate(config, traces)
+        # Whatever happened, nothing is flagged: no finite bound applies.
+        assert verify_bounds(report, config) == []
+
+    def test_assert_bounds_raises_with_detail(self):
+        # Fabricate a violation by checking a tight fake config: use a
+        # 2-core shared SS partition, then verify against a *private*
+        # config whose bound is tiny relative to shared latencies.
+        shared = small_config(
+            num_cores=2,
+            partitions=[shared_partition(2, ways=1, sequencer=True)],
+            llc_sets=1,
+            llc_ways=1,
+            sequencer=True,
+        )
+        traces = conflict_storm_traces(
+            cores=[0, 1], partition_sets=1, lines_per_core=6, repeats=10
+        )
+        report = simulate(shared, traces)
+        private_view = small_config(
+            num_cores=2,
+            partitions=private_partitions(2, sets_per_core=1, ways=4),
+            llc_sets=2,
+            llc_ways=4,
+        )
+        violations = verify_bounds(report, private_view)
+        if violations:  # the storm produced > 250-cycle bus latencies
+            with pytest.raises(AssertionError, match="bound violation"):
+                assert_bounds(report, private_view)
+        else:  # extremely unlikely, but keep the test honest
+            assert report.observed_bus_wcl() <= 250

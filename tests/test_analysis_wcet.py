@@ -1,0 +1,145 @@
+"""Tests for the task-level WCET bounds."""
+
+import pytest
+
+from repro.analysis.wcet import (
+    TaskProfile,
+    WcetBound,
+    hybrid_wcet_bound,
+    profile_task,
+    sharing_cost_factor,
+    static_wcet_bound,
+)
+from repro.common.errors import AnalysisError
+from repro.cpu.private_stack import PrivateStackConfig
+from repro.sim.simulator import simulate
+from repro.workloads.synthetic import (
+    SyntheticWorkloadConfig,
+    generate_disjoint_workload,
+)
+
+from sim_helpers import shared_partition, small_config
+
+
+class TestProfiles:
+    def test_valid_profile(self):
+        profile = TaskProfile(accesses=100, llc_accesses=20)
+        assert profile.accesses == 100
+
+    def test_llc_accesses_bounded_by_accesses(self):
+        with pytest.raises(AnalysisError):
+            TaskProfile(accesses=10, llc_accesses=11)
+
+    def test_negative_rejected(self):
+        with pytest.raises(AnalysisError):
+            TaskProfile(accesses=-1)
+
+
+class TestStaticBound:
+    def test_all_accesses_pay_wcl(self):
+        bound = static_wcet_bound(TaskProfile(accesses=100), wcl_cycles=450)
+        assert bound.total_cycles == 45_000
+        assert bound.kind == "static"
+
+    def test_zero_accesses(self):
+        assert static_wcet_bound(TaskProfile(accesses=0), 450).total_cycles == 0
+
+    def test_bad_wcl_rejected(self):
+        with pytest.raises(AnalysisError):
+            static_wcet_bound(TaskProfile(accesses=1), 0)
+
+
+class TestHybridBound:
+    def test_decomposition(self):
+        stack = PrivateStackConfig(l2_hit_latency=4)
+        bound = hybrid_wcet_bound(
+            TaskProfile(accesses=100, llc_accesses=20), wcl_cycles=450, stack=stack
+        )
+        assert bound.private_cycles == 80 * 4
+        assert bound.memory_cycles == 20 * 450
+        assert bound.total_cycles == 320 + 9000
+
+    def test_requires_llc_count(self):
+        with pytest.raises(AnalysisError, match="LLC-access count"):
+            hybrid_wcet_bound(TaskProfile(accesses=100), wcl_cycles=450)
+
+    def test_tighter_than_static(self):
+        profile = TaskProfile(accesses=100, llc_accesses=20)
+        hybrid = hybrid_wcet_bound(profile, 450)
+        static = static_wcet_bound(profile, 450)
+        assert hybrid.total_cycles < static.total_cycles
+
+
+class TestAgainstSimulation:
+    @pytest.fixture(scope="class")
+    def run(self):
+        config = small_config(
+            num_cores=2,
+            partitions=[shared_partition(2, sets=(0, 1, 2, 3), ways=4)],
+            llc_sets=4,
+            llc_ways=4,
+        )
+        workload = SyntheticWorkloadConfig(
+            num_requests=200, address_range_size=2048, seed=3
+        )
+        traces = generate_disjoint_workload(workload, [0, 1])
+        return config, simulate(config, traces)
+
+    def test_profile_extraction(self, run):
+        _config, report = run
+        profile = profile_task(report, core=0)
+        assert profile.accesses == 200
+        assert profile.llc_accesses == report.core_reports[0].requests
+
+    def test_hybrid_bound_dominates_simulated_time(self, run):
+        """The composed bound must cover the actual execution time."""
+        from repro.analysis.wcl import SharedPartitionParams, wcl_nss_cycles
+
+        config, report = run
+        wcl = wcl_nss_cycles(
+            SharedPartitionParams(
+                total_cores=2,
+                sharers=2,
+                ways=4,
+                partition_lines=16,
+                core_capacity_lines=config.stack.l2_capacity_lines,
+                slot_width=config.slot_width,
+            )
+        )
+        for core in (0, 1):
+            profile = profile_task(report, core)
+            bound = hybrid_wcet_bound(profile, wcl, config.stack)
+            assert report.execution_time(core) <= bound.total_cycles
+
+    def test_static_bound_dominates_hybrid(self, run):
+        _config, report = run
+        profile = profile_task(report, core=0)
+        assert (
+            static_wcet_bound(profile, 450).total_cycles
+            >= hybrid_wcet_bound(profile, 450).total_cycles
+        )
+
+
+class TestSharingCost:
+    def test_factor_grows_with_sharers(self):
+        profile = TaskProfile(accesses=1000, llc_accesses=100)
+        two = sharing_cost_factor(profile, 2, total_cores=4, slot_width=50)
+        four = sharing_cost_factor(profile, 4, total_cores=4, slot_width=50)
+        assert 1.0 < two < four
+
+    def test_memory_bound_task_pays_more(self):
+        lean = TaskProfile(accesses=1000, llc_accesses=10)
+        hungry = TaskProfile(accesses=1000, llc_accesses=500)
+        kwargs = dict(sharers=4, total_cores=4, slot_width=50)
+        assert sharing_cost_factor(hungry, **kwargs) > sharing_cost_factor(
+            lean, **kwargs
+        )
+
+    def test_single_sharer_rejected(self):
+        with pytest.raises(AnalysisError):
+            sharing_cost_factor(
+                TaskProfile(accesses=10, llc_accesses=1),
+                sharers=1,
+                total_cores=4,
+                slot_width=50,
+            )

@@ -1,0 +1,188 @@
+"""Unit tests for the analytical WCL bounds (Theorems 4.7 and 4.8).
+
+The key fixtures are the paper's own numbers (Section 5.1): with the
+4-core, 16-way, 1-set, SW=50 setup the bounds must come out to exactly
+5000 (SS), 979 250 (NSS) and 450 (P) cycles.
+"""
+
+import pytest
+
+from repro.analysis.wcl import (
+    NssBreakdown,
+    SharedPartitionParams,
+    analytical_wcl_cycles,
+    interference_factor,
+    wcl_nss_breakdown,
+    wcl_nss_cycles,
+    wcl_nss_slots,
+    wcl_private_cycles,
+    wcl_private_slots,
+    wcl_reduction_factor,
+    wcl_ss_cycles,
+    wcl_ss_slots,
+)
+from repro.common.errors import AnalysisError
+from repro.llc.partition import PartitionNotation
+
+
+def paper_params(**overrides):
+    """The Figure 7 shared-partition parameters."""
+    defaults = dict(
+        total_cores=4,
+        sharers=4,
+        ways=16,
+        partition_lines=16,  # one 16-way set
+        core_capacity_lines=64,  # 4-way x 16-set L2
+        slot_width=50,
+    )
+    defaults.update(overrides)
+    return SharedPartitionParams(**defaults)
+
+
+class TestInterferenceFactor:
+    def test_paper_value(self):
+        # A = 2(n-1) * w * (n-1) = 2*3*16*3 = 288
+        assert interference_factor(4, 16) == 288
+
+    def test_two_sharers(self):
+        assert interference_factor(2, 4) == 2 * 1 * 4 * 1
+
+    def test_single_sharer_is_zero(self):
+        assert interference_factor(1, 16) == 0
+
+
+class TestTheorem47:
+    def test_paper_nss_bound_cycles(self):
+        assert wcl_nss_cycles(paper_params()) == 979_250
+
+    def test_paper_nss_bound_slots(self):
+        assert wcl_nss_slots(paper_params()) == 19_585
+
+    def test_m_is_min_of_capacity_and_partition(self):
+        # Partition smaller than the L2: m = M.
+        assert paper_params().m == 16
+        # Partition larger than the L2: m = m_cua.
+        assert paper_params(partition_lines=128).m == 64
+
+    def test_grows_with_partition_lines_until_capacity(self):
+        small = wcl_nss_cycles(paper_params(partition_lines=16))
+        large = wcl_nss_cycles(paper_params(partition_lines=64))
+        capped = wcl_nss_cycles(paper_params(partition_lines=128))
+        assert small < large == capped
+
+    def test_cubic_growth_in_sharers(self):
+        # WCL ~ n^3 through A = 2(n-1)^2 w and N >= n.
+        four = wcl_nss_cycles(paper_params())
+        eight = wcl_nss_cycles(
+            paper_params(total_cores=8, sharers=8)
+        )
+        assert eight > 8 * four
+
+    def test_breakdown_parts_sum(self):
+        breakdown = wcl_nss_breakdown(paper_params())
+        assert isinstance(breakdown, NssBreakdown)
+        total = (
+            (breakdown.writebacks - 1) * breakdown.slots_between_writebacks
+            + breakdown.slots_before_first
+            + breakdown.slots_after_last
+        )
+        assert total == breakdown.total_slots == wcl_nss_slots(paper_params())
+
+    def test_breakdown_part_values(self):
+        breakdown = wcl_nss_breakdown(paper_params())
+        assert breakdown.writebacks == 16
+        assert breakdown.slots_between_writebacks == 288 * 4
+        assert breakdown.slots_after_last == 288 * 4 + 1
+
+
+class TestTheorem48:
+    def test_paper_ss_bound_cycles(self):
+        assert wcl_ss_cycles(paper_params()) == 5_000
+
+    def test_paper_ss_bound_slots(self):
+        assert wcl_ss_slots(paper_params()) == 100
+
+    def test_independent_of_partition_size(self):
+        small = wcl_ss_cycles(paper_params(partition_lines=16))
+        large = wcl_ss_cycles(paper_params(partition_lines=512))
+        assert small == large
+
+    def test_independent_of_ways(self):
+        narrow = wcl_ss_cycles(paper_params(ways=2, partition_lines=16))
+        wide = wcl_ss_cycles(paper_params(ways=16, partition_lines=16))
+        assert narrow == wide
+
+    def test_two_sharers(self):
+        params = paper_params(sharers=2)
+        # (2*1*2 + 1) * 4 * 50
+        assert wcl_ss_cycles(params) == 5 * 4 * 50
+
+
+class TestPrivateBound:
+    def test_paper_value(self):
+        assert wcl_private_cycles(4, 50) == 450
+
+    def test_slots(self):
+        assert wcl_private_slots(4) == 9
+
+    def test_scales_with_cores(self):
+        assert wcl_private_cycles(8, 50) == 17 * 50
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(AnalysisError):
+            wcl_private_slots(0)
+        with pytest.raises(AnalysisError):
+            wcl_private_cycles(4, 0)
+
+
+class TestReductionFactor:
+    def test_fig7_setup_reduction(self):
+        # 979250 / 5000 = 195.85 for the Figure 7 parameters.
+        assert wcl_reduction_factor(paper_params()) == pytest.approx(195.85)
+
+    def test_reduction_grows_with_partition(self):
+        small = wcl_reduction_factor(paper_params(partition_lines=16))
+        large = wcl_reduction_factor(
+            paper_params(partition_lines=128, core_capacity_lines=128)
+        )
+        assert large > small
+
+
+class TestParamValidation:
+    def test_sharers_exceeding_cores_rejected(self):
+        with pytest.raises(AnalysisError):
+            paper_params(sharers=5)
+
+    def test_single_sharer_rejected(self):
+        with pytest.raises(AnalysisError, match="private"):
+            paper_params(sharers=1)
+
+    def test_ways_exceeding_partition_rejected(self):
+        with pytest.raises(AnalysisError):
+            paper_params(ways=32, partition_lines=16)
+
+    def test_zero_slot_width_rejected(self):
+        with pytest.raises(AnalysisError):
+            paper_params(slot_width=0)
+
+
+class TestNotationDispatch:
+    @pytest.mark.parametrize(
+        "notation,expected",
+        [("SS(1,16,4)", 5_000), ("NSS(1,16,4)", 979_250), ("P(1,16)", 450)],
+    )
+    def test_figure7_constants(self, notation, expected):
+        cycles = analytical_wcl_cycles(
+            PartitionNotation.parse(notation),
+            total_cores=4,
+            slot_width=50,
+            core_capacity_lines=64,
+        )
+        assert cycles == expected
+
+    def test_nss_vs_ss_ordering(self):
+        common = dict(total_cores=4, slot_width=50, core_capacity_lines=64)
+        nss = analytical_wcl_cycles(PartitionNotation.parse("NSS(2,16,4)"), **common)
+        ss = analytical_wcl_cycles(PartitionNotation.parse("SS(2,16,4)"), **common)
+        private = analytical_wcl_cycles(PartitionNotation.parse("P(2,16)"), **common)
+        assert private < ss < nss

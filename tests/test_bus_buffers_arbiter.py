@@ -1,0 +1,157 @@
+"""Unit tests for the PRB/PWB buffers and the slot arbiter."""
+
+import pytest
+
+from repro.bus.arbiter import ArbitrationPolicy, PrbPwbArbiter
+from repro.bus.buffers import (
+    PendingRequest,
+    PendingRequestBuffer,
+    PendingWritebackBuffer,
+    WritebackEntry,
+    WritebackReason,
+)
+from repro.common.errors import ConfigurationError, SimulationError
+from repro.common.types import AccessType, TransactionKind
+
+
+def request(core=0, block=1, at=0):
+    return PendingRequest(core=core, block=block, access=AccessType.WRITE, enqueued_at=at)
+
+
+def writeback(core=0, block=1, at=0, reason=WritebackReason.CAPACITY):
+    return WritebackEntry(core=core, block=block, reason=reason, enqueued_at=at)
+
+
+class TestPendingRequestBuffer:
+    def test_push_pop(self):
+        prb = PendingRequestBuffer(0)
+        entry = request()
+        prb.push(entry)
+        assert prb.entry is entry
+        assert prb.pop() is entry
+        assert prb.is_empty
+
+    def test_one_outstanding_request_enforced(self):
+        prb = PendingRequestBuffer(0)
+        prb.push(request(block=1))
+        with pytest.raises(SimulationError, match="one outstanding"):
+            prb.push(request(block=2))
+
+    def test_wrong_core_rejected(self):
+        prb = PendingRequestBuffer(0)
+        with pytest.raises(SimulationError):
+            prb.push(request(core=1))
+
+    def test_pop_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            PendingRequestBuffer(0).pop()
+
+    def test_latency_of_completed(self):
+        entry = request(at=100)
+        entry.completed_at = 350
+        assert entry.latency == 250
+
+    def test_latency_of_incomplete_rejected(self):
+        with pytest.raises(SimulationError):
+            request().latency
+
+
+class TestPendingWritebackBuffer:
+    def test_fifo_order(self):
+        pwb = PendingWritebackBuffer(0)
+        pwb.push(writeback(block=1))
+        pwb.push(writeback(block=2))
+        assert pwb.pop().block == 1
+        assert pwb.pop().block == 2
+
+    def test_peek_does_not_remove(self):
+        pwb = PendingWritebackBuffer(0)
+        pwb.push(writeback(block=7))
+        assert pwb.peek().block == 7
+        assert len(pwb) == 1
+
+    def test_peek_empty(self):
+        assert PendingWritebackBuffer(0).peek() is None
+
+    def test_pop_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            PendingWritebackBuffer(0).pop()
+
+    def test_wrong_core_rejected(self):
+        with pytest.raises(SimulationError):
+            PendingWritebackBuffer(0).push(writeback(core=2))
+
+    def test_max_occupancy_tracked(self):
+        pwb = PendingWritebackBuffer(0)
+        for block in range(3):
+            pwb.push(writeback(block=block))
+        pwb.pop()
+        assert pwb.max_occupancy == 3
+
+    def test_blocks_listing(self):
+        pwb = PendingWritebackBuffer(0)
+        pwb.push(writeback(block=4))
+        pwb.push(writeback(block=9))
+        assert pwb.blocks() == [4, 9]
+
+
+class TestArbitrationPolicyParse:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("round-robin", ArbitrationPolicy.ROUND_ROBIN),
+            ("WRITEBACK-FIRST", ArbitrationPolicy.WRITEBACK_FIRST),
+            ("request-first", ArbitrationPolicy.REQUEST_FIRST),
+        ],
+    )
+    def test_parse(self, name, expected):
+        assert ArbitrationPolicy.parse(name) is expected
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ArbitrationPolicy.parse("priority")
+
+
+class TestArbiter:
+    def test_idle_when_nothing_pending(self):
+        assert PrbPwbArbiter().choose(False, False) is None
+
+    def test_only_request(self):
+        assert PrbPwbArbiter().choose(True, False) is TransactionKind.REQUEST
+
+    def test_only_writeback(self):
+        assert PrbPwbArbiter().choose(False, True) is TransactionKind.WRITE_BACK
+
+    def test_round_robin_alternates_under_contention(self):
+        arbiter = PrbPwbArbiter(ArbitrationPolicy.ROUND_ROBIN)
+        grants = [arbiter.choose(True, True) for _ in range(4)]
+        assert grants == [
+            TransactionKind.WRITE_BACK,
+            TransactionKind.REQUEST,
+            TransactionKind.WRITE_BACK,
+            TransactionKind.REQUEST,
+        ]
+
+    def test_uncontended_grant_preserves_turn(self):
+        arbiter = PrbPwbArbiter(ArbitrationPolicy.ROUND_ROBIN)
+        assert arbiter.choose(True, True) is TransactionKind.WRITE_BACK
+        # Request-only slots do not consume the write-back's next turn...
+        assert arbiter.choose(True, False) is TransactionKind.REQUEST
+        # ...so the next contended slot goes to the request (whose turn it is).
+        assert arbiter.choose(True, True) is TransactionKind.REQUEST
+
+    def test_writeback_first_policy(self):
+        arbiter = PrbPwbArbiter(ArbitrationPolicy.WRITEBACK_FIRST)
+        for _ in range(3):
+            assert arbiter.choose(True, True) is TransactionKind.WRITE_BACK
+
+    def test_request_first_policy(self):
+        arbiter = PrbPwbArbiter(ArbitrationPolicy.REQUEST_FIRST)
+        for _ in range(3):
+            assert arbiter.choose(True, True) is TransactionKind.REQUEST
+
+    def test_reset_restores_initial_preference(self):
+        arbiter = PrbPwbArbiter(ArbitrationPolicy.ROUND_ROBIN)
+        arbiter.choose(True, True)
+        arbiter.reset()
+        assert arbiter.choose(True, True) is TransactionKind.WRITE_BACK

@@ -1,0 +1,66 @@
+"""Tests for per-core bus-slot usage accounting."""
+
+import pytest
+
+from repro.sim.simulator import simulate
+from repro.workloads.adversarial import conflict_storm_traces
+
+from sim_helpers import shared_partition, small_config, write_trace_of
+
+
+class TestSlotUsage:
+    def test_counts_sum_to_core_slot_share(self):
+        config = small_config(num_cores=2)
+        traces = {0: write_trace_of([0, 4]), 1: write_trace_of([1, 5])}
+        report = simulate(config, traces)
+        for core in (0, 1):
+            usage = report.slot_usage[core]
+            owned_slots = sum(usage.values())
+            # 2-core 1S-TDM: each core owns every other slot.
+            assert owned_slots == pytest.approx(report.total_slots / 2, abs=1)
+
+    def test_idle_system_is_mostly_idle(self):
+        config = small_config(num_cores=2)
+        traces = {0: write_trace_of([0])}
+        report = simulate(config, traces)
+        assert report.slot_usage[1]["request"] == 0
+        assert report.slot_usage[1]["writeback"] == 0
+
+    def test_storm_is_busy(self):
+        config = small_config(
+            num_cores=4,
+            partitions=[shared_partition(4, ways=4)],
+            llc_sets=1,
+            llc_ways=4,
+            max_slots=300_000,
+        )
+        traces = conflict_storm_traces(
+            cores=[0, 1, 2, 3], partition_sets=1, lines_per_core=8, repeats=10
+        )
+        report = simulate(config, traces)
+        assert report.bus_utilization() > 0.5
+        total_requests = sum(u["request"] for u in report.slot_usage.values())
+        assert total_requests >= len(report.requests)
+
+    def test_writeback_slots_counted(self):
+        # Cross-core dirty eviction forces at least one write-back slot.
+        config = small_config(
+            num_cores=2,
+            partitions=[shared_partition(2, ways=1)],
+            llc_sets=1,
+            llc_ways=1,
+        )
+        traces = {1: write_trace_of([0]), 0: write_trace_of([2])}
+        report = simulate(config, traces, start_cycles={0: 60})
+        assert report.slot_usage[1]["writeback"] >= 1
+
+    def test_per_core_utilization(self):
+        config = small_config(num_cores=2)
+        traces = {0: write_trace_of([0, 4, 8, 12])}
+        report = simulate(config, traces)
+        assert report.bus_utilization(0) > report.bus_utilization(1)
+
+    def test_empty_run_zero_utilization(self):
+        config = small_config(num_cores=2)
+        report = simulate(config, {})
+        assert report.bus_utilization() == 0.0

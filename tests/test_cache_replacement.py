@@ -1,0 +1,202 @@
+"""Unit tests for every replacement policy."""
+
+import random
+
+import pytest
+
+from repro.cache.replacement import (
+    POLICY_NAMES,
+    FifoPolicy,
+    LruPolicy,
+    MruPolicy,
+    NmruPolicy,
+    OraclePolicy,
+    PlruTreePolicy,
+    RandomPolicy,
+    RoundRobinPolicy,
+    make_policy,
+)
+from repro.common.errors import ConfigurationError
+
+
+ALL_WAYS = list(range(4))
+
+
+class TestLru:
+    def test_untouched_way_is_victim(self):
+        policy = LruPolicy(4)
+        for way in (0, 1, 2):
+            policy.on_fill(way)
+        assert policy.victim(ALL_WAYS) == 3
+
+    def test_least_recent_fill_order(self):
+        policy = LruPolicy(4)
+        for way in (3, 1, 0, 2):
+            policy.on_fill(way)
+        assert policy.victim(ALL_WAYS) == 3
+
+    def test_access_refreshes(self):
+        policy = LruPolicy(4)
+        for way in (0, 1, 2, 3):
+            policy.on_fill(way)
+        policy.on_access(0)
+        assert policy.victim(ALL_WAYS) == 1
+
+    def test_invalidate_makes_way_preferred(self):
+        policy = LruPolicy(4)
+        for way in (0, 1, 2, 3):
+            policy.on_fill(way)
+        policy.on_invalidate(2)
+        assert policy.victim(ALL_WAYS) == 2
+
+    def test_restricted_candidates(self):
+        policy = LruPolicy(4)
+        for way in (0, 1, 2, 3):
+            policy.on_fill(way)
+        assert policy.victim([2, 3]) == 2
+
+    def test_rejects_empty_candidates(self):
+        with pytest.raises(ValueError):
+            LruPolicy(4).victim([])
+
+    def test_rejects_out_of_range_candidate(self):
+        with pytest.raises(ValueError):
+            LruPolicy(4).victim([4])
+
+
+class TestMru:
+    def test_most_recent_is_victim(self):
+        policy = MruPolicy(4)
+        for way in (0, 1, 2, 3):
+            policy.on_fill(way)
+        policy.on_access(1)
+        assert policy.victim(ALL_WAYS) == 1
+
+
+class TestNmru:
+    def test_avoids_most_recent(self):
+        policy = NmruPolicy(4)
+        policy.on_access(0)
+        assert policy.victim(ALL_WAYS) != 0
+
+    def test_falls_back_when_only_mru_available(self):
+        policy = NmruPolicy(4)
+        policy.on_access(2)
+        assert policy.victim([2]) == 2
+
+    def test_invalidate_clears_mru(self):
+        policy = NmruPolicy(4)
+        policy.on_access(0)
+        policy.on_invalidate(0)
+        assert policy.victim([0]) == 0
+
+
+class TestFifo:
+    def test_first_filled_is_victim(self):
+        policy = FifoPolicy(4)
+        for way in (2, 0, 3, 1):
+            policy.on_fill(way)
+        assert policy.victim(ALL_WAYS) == 2
+
+    def test_access_does_not_refresh(self):
+        policy = FifoPolicy(4)
+        for way in (0, 1, 2, 3):
+            policy.on_fill(way)
+        policy.on_access(0)
+        assert policy.victim(ALL_WAYS) == 0
+
+
+class TestRoundRobin:
+    def test_rotates(self):
+        policy = RoundRobinPolicy(4)
+        assert policy.victim(ALL_WAYS) == 0
+        assert policy.victim(ALL_WAYS) == 1
+        assert policy.victim(ALL_WAYS) == 2
+        assert policy.victim(ALL_WAYS) == 3
+        assert policy.victim(ALL_WAYS) == 0
+
+    def test_skips_excluded_ways(self):
+        policy = RoundRobinPolicy(4)
+        assert policy.victim([2, 3]) == 2
+        assert policy.victim([0, 1]) == 0
+
+
+class TestRandom:
+    def test_deterministic_with_seed(self):
+        first = RandomPolicy(4, random.Random(42))
+        second = RandomPolicy(4, random.Random(42))
+        picks_a = [first.victim(ALL_WAYS) for _ in range(20)]
+        picks_b = [second.victim(ALL_WAYS) for _ in range(20)]
+        assert picks_a == picks_b
+
+    def test_only_candidates_chosen(self):
+        policy = RandomPolicy(4, random.Random(1))
+        for _ in range(50):
+            assert policy.victim([1, 3]) in (1, 3)
+
+
+class TestPlruTree:
+    def test_requires_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            PlruTreePolicy(6)
+
+    def test_victim_avoids_recent_accesses(self):
+        policy = PlruTreePolicy(4)
+        policy.on_access(0)
+        assert policy.victim(ALL_WAYS) in (2, 3)
+        policy.on_access(2)
+        victim = policy.victim(ALL_WAYS)
+        assert victim in (1, 3)
+
+    def test_full_access_cycle_never_picks_last_touched(self):
+        policy = PlruTreePolicy(8)
+        for way in range(8):
+            policy.on_access(way)
+            assert policy.victim(list(range(8))) != way
+
+    def test_restricted_candidates_respected(self):
+        policy = PlruTreePolicy(4)
+        policy.on_access(0)
+        policy.on_access(1)
+        assert policy.victim([0, 1]) in (0, 1)
+
+
+class TestOracle:
+    def test_defaults_to_first_candidate(self):
+        assert OraclePolicy(4).victim([2, 3]) == 2
+
+    def test_chooser_receives_set_index(self):
+        seen = {}
+
+        def chooser(candidates, set_index):
+            seen["set"] = set_index
+            return candidates[-1]
+
+        policy = OraclePolicy(4, chooser)
+        policy.bind_set(7)
+        assert policy.victim(ALL_WAYS) == 3
+        assert seen["set"] == 7
+
+    def test_rejects_chooser_outside_candidates(self):
+        policy = OraclePolicy(4, lambda candidates, _set: 3)
+        with pytest.raises(ValueError):
+            policy.victim([0, 1])
+
+    def test_set_chooser_replaces(self):
+        policy = OraclePolicy(4)
+        policy.set_chooser(lambda candidates, _set: candidates[-1])
+        assert policy.victim(ALL_WAYS) == 3
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", POLICY_NAMES)
+    def test_builds_every_name(self, name):
+        policy = make_policy(name, 4, random.Random(0))
+        assert policy.victim(ALL_WAYS) in ALL_WAYS
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown replacement"):
+            make_policy("clock", 4)
+
+    def test_case_insensitive(self):
+        assert isinstance(make_policy("LRU", 4), LruPolicy)

@@ -1,0 +1,121 @@
+"""Unit tests for integer helpers and validation utilities."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError, ScheduleError
+from repro.common.intmath import ceil_div, ilog2, is_power_of_two
+from repro.common.validation import (
+    require,
+    require_in_range,
+    require_non_negative,
+    require_positive,
+    require_power_of_two,
+)
+
+
+class TestIsPowerOfTwo:
+    @pytest.mark.parametrize("value", [1, 2, 4, 64, 1024, 2**30])
+    def test_powers(self, value):
+        assert is_power_of_two(value)
+
+    @pytest.mark.parametrize("value", [0, -1, -2, 3, 6, 12, 100])
+    def test_non_powers(self, value):
+        assert not is_power_of_two(value)
+
+
+class TestIlog2:
+    @pytest.mark.parametrize("value,expected", [(1, 0), (2, 1), (64, 6), (4096, 12)])
+    def test_exact(self, value, expected):
+        assert ilog2(value) == expected
+
+    @pytest.mark.parametrize("value", [0, 3, -4])
+    def test_rejects_non_powers(self, value):
+        with pytest.raises(ValueError):
+            ilog2(value)
+
+
+class TestCeilDiv:
+    def test_exact_division(self):
+        assert ceil_div(8, 4) == 2
+
+    def test_rounds_up(self):
+        assert ceil_div(7, 2) == 4
+
+    def test_zero_numerator(self):
+        assert ceil_div(0, 5) == 0
+
+    def test_zero_denominator_rejected(self):
+        with pytest.raises(ValueError):
+            ceil_div(4, 0)
+
+    def test_negative_numerator_rejected(self):
+        with pytest.raises(ValueError):
+            ceil_div(-1, 2)
+
+
+class TestRequire:
+    def test_passes_silently(self):
+        require(True, "never raised")
+
+    def test_raises_default_error(self):
+        with pytest.raises(ConfigurationError, match="boom"):
+            require(False, "boom")
+
+    def test_raises_custom_error(self):
+        with pytest.raises(ScheduleError):
+            require(False, "boom", ScheduleError)
+
+
+class TestRequirePositive:
+    def test_accepts_positive(self):
+        assert require_positive(3, "x") == 3
+
+    @pytest.mark.parametrize("value", [0, -1])
+    def test_rejects_non_positive(self, value):
+        with pytest.raises(ConfigurationError):
+            require_positive(value, "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(ConfigurationError):
+            require_positive(True, "x")
+
+    def test_rejects_float(self):
+        with pytest.raises(ConfigurationError):
+            require_positive(1.5, "x")
+
+    def test_error_names_parameter(self):
+        with pytest.raises(ConfigurationError, match="num_sets"):
+            require_positive(0, "num_sets")
+
+
+class TestRequireNonNegative:
+    def test_accepts_zero(self):
+        assert require_non_negative(0, "x") == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            require_non_negative(-1, "x")
+
+
+class TestRequirePowerOfTwo:
+    def test_accepts(self):
+        assert require_power_of_two(16, "x") == 16
+
+    def test_rejects(self):
+        with pytest.raises(ConfigurationError):
+            require_power_of_two(12, "x")
+
+
+class TestRequireInRange:
+    def test_accepts_bounds(self):
+        assert require_in_range(1, 1, 5, "x") == 1
+        assert require_in_range(5, 1, 5, "x") == 5
+
+    @pytest.mark.parametrize("value", [0, 6])
+    def test_rejects_outside(self, value):
+        with pytest.raises(ConfigurationError):
+            require_in_range(value, 1, 5, "x")
+
+    def test_rejects_non_int(self):
+        with pytest.raises(ConfigurationError):
+            require_in_range("3", 1, 5, "x")

@@ -1,0 +1,47 @@
+"""Unit tests for the common enumerations."""
+
+import pytest
+
+from repro.common.types import AccessType, EntryState, TransactionKind
+
+
+class TestAccessType:
+    def test_write_is_write(self):
+        assert AccessType.WRITE.is_write
+
+    def test_read_is_not_write(self):
+        assert not AccessType.READ.is_write
+
+    def test_instr_is_not_write(self):
+        assert not AccessType.INSTR.is_write
+
+    def test_instr_flag(self):
+        assert AccessType.INSTR.is_instruction
+        assert not AccessType.READ.is_instruction
+        assert not AccessType.WRITE.is_instruction
+
+    @pytest.mark.parametrize(
+        "token,expected",
+        [("R", AccessType.READ), ("W", AccessType.WRITE), ("I", AccessType.INSTR),
+         ("r", AccessType.READ), ("w", AccessType.WRITE)],
+    )
+    def test_from_token(self, token, expected):
+        assert AccessType.from_token(token) is expected
+
+    def test_from_token_rejects_unknown(self):
+        with pytest.raises(ValueError, match="X"):
+            AccessType.from_token("X")
+
+
+class TestEntryState:
+    def test_three_states(self):
+        assert {state.value for state in EntryState} == {
+            "free",
+            "valid",
+            "pending-evict",
+        }
+
+
+class TestTransactionKind:
+    def test_two_kinds(self):
+        assert len(TransactionKind) == 2

@@ -1,0 +1,81 @@
+"""Unit tests for byte-size parsing and formatting."""
+
+import pytest
+
+from repro.common.units import format_bytes, parse_bytes
+
+
+class TestParseBytes:
+    def test_plain_integer_passthrough(self):
+        assert parse_bytes(4096) == 4096
+
+    def test_zero(self):
+        assert parse_bytes(0) == 0
+
+    def test_negative_integer_rejected(self):
+        with pytest.raises(ValueError):
+            parse_bytes(-1)
+
+    def test_bare_number_string(self):
+        assert parse_bytes("64") == 64
+
+    def test_kib(self):
+        assert parse_bytes("4KiB") == 4096
+
+    def test_kb_is_binary(self):
+        assert parse_bytes("2KB") == 2048
+
+    def test_short_k(self):
+        assert parse_bytes("8k") == 8192
+
+    def test_mib(self):
+        assert parse_bytes("1MiB") == 1024**2
+
+    def test_gib(self):
+        assert parse_bytes("2GiB") == 2 * 1024**3
+
+    def test_case_insensitive(self):
+        assert parse_bytes("4kIb") == 4096
+
+    def test_whitespace_tolerated(self):
+        assert parse_bytes("  4 KiB ") == 4096
+
+    def test_explicit_b_suffix(self):
+        assert parse_bytes("512B") == 512
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            parse_bytes("four")
+
+    def test_unknown_unit_rejected(self):
+        with pytest.raises(ValueError):
+            parse_bytes("4TiBs")
+
+    def test_float_rejected(self):
+        with pytest.raises(ValueError):
+            parse_bytes("4.5KiB")
+
+
+class TestFormatBytes:
+    def test_exact_kib(self):
+        assert format_bytes(4096) == "4KiB"
+
+    def test_exact_mib(self):
+        assert format_bytes(1024**2) == "1MiB"
+
+    def test_exact_gib(self):
+        assert format_bytes(3 * 1024**3) == "3GiB"
+
+    def test_non_multiple_stays_bytes(self):
+        assert format_bytes(1000) == "1000B"
+
+    def test_zero(self):
+        assert format_bytes(0) == "0B"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_bytes(-5)
+
+    @pytest.mark.parametrize("size", [64, 1024, 4096, 65536, 1024**2, 5 * 1024**3, 777])
+    def test_roundtrip(self, size):
+        assert parse_bytes(format_bytes(size)) == size

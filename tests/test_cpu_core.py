@@ -1,0 +1,105 @@
+"""Unit tests for the trace-driven core model."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.common.types import AccessType
+from repro.cpu.core import CoreState, TraceDrivenCore
+from repro.cpu.private_stack import PrivateStack, PrivateStackConfig
+from repro.workloads.trace import MemoryTrace, TraceRecord
+
+
+def make_core(blocks, access=AccessType.READ, start_cycle=0, line=64):
+    stack = PrivateStack(0, PrivateStackConfig(l1_sets=2, l1_ways=2, l2_sets=4, l2_ways=2))
+    trace = MemoryTrace([TraceRecord(b * line, access) for b in blocks])
+    return TraceDrivenCore(0, stack, trace, line, start_cycle=start_cycle)
+
+
+class TestLifecycle:
+    def test_empty_trace_is_done_immediately(self):
+        core = make_core([])
+        assert core.done
+        assert core.finish_time == 0
+
+    def test_first_access_misses_and_blocks(self):
+        core = make_core([1])
+        miss = core.advance(1000)
+        assert miss is not None
+        assert miss.block == 1
+        assert miss.at_cycle == 0
+        assert core.blocked
+
+    def test_advance_does_not_pass_until(self):
+        core = make_core([1])
+        assert core.advance(0) is None
+        assert core.state is CoreState.RUNNING
+
+    def test_resume_completes_access_and_finishes(self):
+        core = make_core([1])
+        core.advance(1000)
+        # The engine fills the stack before resuming.
+        core.stack.fill_from_llc(1, AccessType.READ)
+        core.resume(response_cycle=500)
+        assert core.done
+        assert core.finish_time == 500
+
+    def test_private_hits_consume_latency(self):
+        core = make_core([1, 1, 1])
+        core.advance(1000)
+        core.stack.fill_from_llc(1, AccessType.READ)
+        core.resume(100)
+        assert core.advance(10_000) is None
+        assert core.done
+        # Two L1 hits after the resume.
+        assert core.finish_time == 100 + 2 * core.stack.config.l1_hit_latency
+        assert core.private_hits == 2
+
+    def test_second_miss_blocks_again(self):
+        core = make_core([1, 2])
+        core.advance(1000)
+        core.stack.fill_from_llc(1, AccessType.READ)
+        core.resume(100)
+        miss = core.advance(1000)
+        assert miss.block == 2
+        assert miss.at_cycle == 100
+
+    def test_llc_request_count(self):
+        core = make_core([1, 2, 1])
+        core.advance(1000)
+        core.stack.fill_from_llc(1, AccessType.READ)
+        core.resume(100)
+        core.advance(1000)
+        core.stack.fill_from_llc(2, AccessType.READ)
+        core.resume(200)
+        core.advance(10_000)
+        assert core.llc_requests == 2
+        assert core.private_hits == 1
+
+
+class TestStartCycle:
+    def test_start_cycle_delays_first_access(self):
+        core = make_core([1], start_cycle=500)
+        assert core.advance(400) is None
+        miss = core.advance(501)
+        assert miss.at_cycle == 500
+
+    def test_negative_start_cycle_rejected(self):
+        with pytest.raises(SimulationError):
+            make_core([1], start_cycle=-1)
+
+
+class TestResumeValidation:
+    def test_resume_while_running_rejected(self):
+        core = make_core([1])
+        with pytest.raises(SimulationError):
+            core.resume(10)
+
+    def test_resume_in_the_past_rejected(self):
+        core = make_core([1], start_cycle=100)
+        core.advance(1000)
+        with pytest.raises(SimulationError):
+            core.resume(50)
+
+    def test_advance_when_done_is_noop(self):
+        core = make_core([])
+        assert core.advance(10_000) is None

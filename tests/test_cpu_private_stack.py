@@ -1,0 +1,166 @@
+"""Unit tests for the private L1/L2 stack and its inclusive discipline."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.types import AccessType
+from repro.cpu.private_stack import PrivateStack, PrivateStackConfig
+
+
+def make_stack(l1_sets=2, l1_ways=2, l2_sets=4, l2_ways=2):
+    return PrivateStack(
+        0,
+        PrivateStackConfig(
+            l1_sets=l1_sets, l1_ways=l1_ways, l2_sets=l2_sets, l2_ways=l2_ways
+        ),
+    )
+
+
+def no_l1_stack(l2_sets=4, l2_ways=2):
+    return PrivateStack(0, PrivateStackConfig(l1_sets=0, l2_sets=l2_sets, l2_ways=l2_ways))
+
+
+class TestConfig:
+    def test_defaults_match_paper_l2(self):
+        config = PrivateStackConfig(l2_sets=16, l2_ways=4)
+        assert config.l2_capacity_lines == 64
+
+    def test_l1_disabled(self):
+        config = PrivateStackConfig(l1_sets=0)
+        assert not config.has_l1
+
+    def test_rejects_zero_l2(self):
+        with pytest.raises(ConfigurationError):
+            PrivateStackConfig(l2_sets=0)
+
+    def test_rejects_l1_sets_without_ways(self):
+        with pytest.raises(ConfigurationError):
+            PrivateStackConfig(l1_sets=2, l1_ways=0)
+
+
+class TestAccessPath:
+    def test_cold_miss_goes_to_llc(self):
+        result = make_stack().access(1, AccessType.READ)
+        assert result.hit_level is None
+        assert result.latency == 0
+
+    def test_fill_then_l1_hit(self):
+        stack = make_stack()
+        stack.fill_from_llc(1, AccessType.READ)
+        result = stack.access(1, AccessType.READ)
+        assert result.hit_level == "L1"
+        assert result.latency == stack.config.l1_hit_latency
+
+    def test_l2_hit_after_l1_eviction(self):
+        stack = make_stack(l1_sets=1, l1_ways=1, l2_sets=4, l2_ways=4)
+        stack.fill_from_llc(0, AccessType.READ)
+        stack.fill_from_llc(1, AccessType.READ)  # displaces 0 from tiny L1
+        result = stack.access(0, AccessType.READ)
+        assert result.hit_level == "L2"
+
+    def test_instruction_accesses_use_l1i(self):
+        stack = make_stack()
+        stack.fill_from_llc(1, AccessType.INSTR)
+        assert stack.l1i.contains(1)
+        assert not stack.l1d.contains(1)
+
+    def test_data_accesses_use_l1d(self):
+        stack = make_stack()
+        stack.fill_from_llc(1, AccessType.READ)
+        assert stack.l1d.contains(1)
+        assert not stack.l1i.contains(1)
+
+    def test_no_l1_stack_hits_in_l2(self):
+        stack = no_l1_stack()
+        stack.fill_from_llc(1, AccessType.READ)
+        assert stack.access(1, AccessType.READ).hit_level == "L2"
+
+
+class TestDirtiness:
+    def test_write_fill_is_dirty(self):
+        stack = make_stack()
+        stack.fill_from_llc(1, AccessType.WRITE)
+        assert stack.is_dirty(1)
+
+    def test_read_fill_is_clean(self):
+        stack = make_stack()
+        stack.fill_from_llc(1, AccessType.READ)
+        assert not stack.is_dirty(1)
+
+    def test_write_hit_dirties(self):
+        stack = make_stack()
+        stack.fill_from_llc(1, AccessType.READ)
+        stack.access(1, AccessType.WRITE)
+        assert stack.is_dirty(1)
+
+    def test_l1_dirtiness_merges_down_on_l1_eviction(self):
+        stack = make_stack(l1_sets=1, l1_ways=1, l2_sets=4, l2_ways=4)
+        stack.fill_from_llc(0, AccessType.WRITE)  # dirty in L1 (and L2)
+        stack.fill_from_llc(1, AccessType.READ)   # evicts 0 from L1
+        assert stack.l2.is_dirty(0)
+
+
+class TestL2EvictionAndInclusion:
+    def test_l2_victim_reported_with_merged_dirtiness(self):
+        stack = no_l1_stack(l2_sets=1, l2_ways=1)
+        stack.fill_from_llc(0, AccessType.WRITE)
+        result = stack.fill_from_llc(1, AccessType.READ)
+        assert result.l2_victim is not None
+        assert result.l2_victim.block == 0
+        assert result.l2_victim.dirty
+
+    def test_clean_l2_victim(self):
+        stack = no_l1_stack(l2_sets=1, l2_ways=1)
+        stack.fill_from_llc(0, AccessType.READ)
+        result = stack.fill_from_llc(1, AccessType.READ)
+        assert not result.l2_victim.dirty
+
+    def test_l2_eviction_back_invalidates_l1(self):
+        stack = make_stack(l1_sets=4, l1_ways=4, l2_sets=1, l2_ways=1)
+        stack.fill_from_llc(0, AccessType.READ)
+        stack.fill_from_llc(1, AccessType.READ)  # L2 evicts 0
+        assert not stack.l1d.contains(0)
+        stack.check_l1_inclusion()
+
+    def test_l1_dirty_copy_merges_into_departing_victim(self):
+        stack = make_stack(l1_sets=4, l1_ways=4, l2_sets=1, l2_ways=1)
+        stack.fill_from_llc(0, AccessType.WRITE)
+        result = stack.fill_from_llc(1, AccessType.READ)
+        assert result.l2_victim.dirty
+
+    def test_inclusion_invariant_after_mixed_traffic(self):
+        stack = make_stack(l1_sets=1, l1_ways=2, l2_sets=2, l2_ways=2)
+        for block, access in [
+            (0, AccessType.WRITE),
+            (1, AccessType.READ),
+            (2, AccessType.WRITE),
+            (3, AccessType.READ),
+            (4, AccessType.WRITE),
+        ]:
+            stack.fill_from_llc(block, access)
+        stack.check_l1_inclusion()
+
+
+class TestInvalidateBlock:
+    def test_invalidate_removes_everywhere(self):
+        stack = make_stack()
+        stack.fill_from_llc(1, AccessType.WRITE)
+        removed = stack.invalidate_block(1)
+        assert removed is not None and removed.dirty
+        assert not stack.contains(1)
+
+    def test_invalidate_absent_returns_none(self):
+        assert make_stack().invalidate_block(42) is None
+
+    def test_invalidate_merges_l1_dirtiness(self):
+        stack = make_stack()
+        stack.fill_from_llc(1, AccessType.READ)
+        stack.access(1, AccessType.WRITE)  # dirty only in L1
+        removed = stack.invalidate_block(1)
+        assert removed.dirty
+
+    def test_resident_blocks_tracks_l2(self):
+        stack = make_stack()
+        stack.fill_from_llc(1, AccessType.READ)
+        stack.fill_from_llc(2, AccessType.READ)
+        assert sorted(stack.resident_blocks()) == [1, 2]

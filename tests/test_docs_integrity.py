@@ -1,0 +1,77 @@
+"""Documentation integrity: doctests run, README snippets execute.
+
+Documentation that drifts from the code is worse than none; these tests
+execute every doctest in modules that carry examples, and every
+``python`` code block in README.md, so the documented API calls are
+checked on each run.
+"""
+
+import doctest
+import re
+from pathlib import Path
+
+import pytest
+
+import repro.bus.schedule
+import repro.common.intmath
+import repro.common.units
+import repro.llc.partition
+import repro.sim.export
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+MODULES_WITH_DOCTESTS = [
+    repro.common.units,
+    repro.common.intmath,
+    repro.bus.schedule,
+    repro.llc.partition,
+    repro.sim.export,
+]
+
+
+class TestDoctests:
+    @pytest.mark.parametrize(
+        "module", MODULES_WITH_DOCTESTS, ids=lambda m: m.__name__
+    )
+    def test_module_doctests_pass(self, module):
+        results = doctest.testmod(module, verbose=False)
+        assert results.failed == 0, f"{module.__name__}: {results.failed} failed"
+
+    def test_doctests_actually_exist(self):
+        total = sum(
+            doctest.testmod(module, verbose=False).attempted
+            for module in MODULES_WITH_DOCTESTS
+        )
+        assert total >= 4, "expected documented examples to be present"
+
+
+def python_blocks(markdown: str):
+    return re.findall(r"```python\n(.*?)```", markdown, re.DOTALL)
+
+
+class TestReadmeSnippets:
+    def test_readme_has_python_snippets(self):
+        readme = (REPO_ROOT / "README.md").read_text()
+        assert len(python_blocks(readme)) >= 2
+
+    def test_readme_snippets_execute(self):
+        readme = (REPO_ROOT / "README.md").read_text()
+        for index, block in enumerate(python_blocks(readme)):
+            namespace: dict = {}
+            try:
+                exec(compile(block, f"README.md:block{index}", "exec"), namespace)
+            except Exception as exc:  # pragma: no cover - failure reporting
+                pytest.fail(f"README python block {index} failed: {exc}\n{block}")
+
+    def test_module_docstring_quickstart_executes(self):
+        import repro
+
+        blocks = re.findall(
+            r"::\n\n((?:    .*\n)+)", repro.__doc__ or "", re.MULTILINE
+        )
+        assert blocks, "package docstring should contain a quickstart"
+        code = "\n".join(
+            line[4:] for line in blocks[0].splitlines()
+        )
+        namespace: dict = {}
+        exec(compile(code, "repro.__doc__", "exec"), namespace)

@@ -1,0 +1,224 @@
+"""Integration tests of the slot engine's basic transaction handling."""
+
+import pytest
+
+from repro.bus.arbiter import ArbitrationPolicy
+from repro.common.types import AccessType
+from repro.sim.events import EventKind
+from repro.sim.simulator import Simulator, simulate
+
+from sim_helpers import (
+    private_partitions,
+    read_trace_of,
+    shared_partition,
+    small_config,
+    trace_of_blocks,
+    write_trace_of,
+)
+
+
+class TestSingleCore:
+    def config(self, **kwargs):
+        defaults = dict(
+            num_cores=1,
+            partitions=[shared_partition(1, ways=4)],
+            llc_sets=4,
+            llc_ways=4,
+        )
+        defaults.update(kwargs)
+        return small_config(**defaults)
+
+    def test_single_miss_completes_in_first_slot(self):
+        report = simulate(self.config(), {0: write_trace_of([1])})
+        assert len(report.requests) == 1
+        record = report.requests[0]
+        assert record.first_on_bus_at == 0
+        assert record.completed_at == 45  # llc_miss_latency
+        assert record.bus_attempts == 1
+
+    def test_llc_hit_after_private_eviction(self):
+        # Two blocks that conflict in a 1-set/1-way L2 but fit the LLC.
+        config = self.config()
+        report = simulate(config, {0: write_trace_of([0, 1, 2, 3, 0])})
+        # Block 0 was L2-resident or LLC-resident; final access must not
+        # go to DRAM again if it stayed in the LLC.
+        assert report.llc_stats.hits >= 0  # smoke: simulation completed
+        assert report.core_reports[0].completed
+
+    def test_empty_trace_finishes_immediately(self):
+        report = simulate(self.config(), {0: trace_of_blocks([])})
+        assert report.core_reports[0].completed
+        assert report.total_slots == 0
+
+    def test_no_trace_for_core_treated_as_empty(self):
+        report = simulate(self.config(), {})
+        assert report.core_reports[0].completed
+
+    def test_private_hits_do_not_touch_bus(self):
+        # Same block over and over: one miss, then L1 hits.
+        report = simulate(self.config(), {0: read_trace_of([1] * 50)})
+        assert len(report.requests) == 1
+        assert report.core_reports[0].private_hits == 49
+
+    def test_dram_traffic_counted(self):
+        report = simulate(self.config(), {0: write_trace_of([0, 1, 2])})
+        assert report.dram_reads == 3
+
+
+class TestEvictionAndWriteback:
+    def test_cross_core_dirty_eviction_costs_owner_a_slot(self):
+        # Core 1 fills the only way of a 1-way shared partition with a
+        # dirty line; core 0's later miss must wait for core 1's
+        # write-back slot.
+        config = small_config(
+            num_cores=2,
+            partitions=[shared_partition(2, ways=1)],
+            llc_sets=4,
+            llc_ways=1,
+        )
+        traces = {
+            1: write_trace_of([0]),
+            0: write_trace_of([2]),  # folds to the same single-way set 0
+        }
+        sim = Simulator(config, traces, start_cycles={0: 60})
+        report = sim.run()
+        wb_events = report.events.of_kind(EventKind.WB_SENT)
+        assert any(event.core == 1 for event in wb_events)
+        freed = report.events.of_kind(EventKind.ENTRY_FREED)
+        assert freed, "the pending entry must be freed by the write-back"
+        assert report.core_reports[0].completed
+
+    def test_clean_victim_frees_in_slot_and_completes(self):
+        # Core 1's line is clean (read): core 0's miss evicts silently
+        # and completes within its own slot (Lemma 4.4 completion rule).
+        config = small_config(
+            num_cores=2,
+            partitions=[shared_partition(2, ways=1)],
+            llc_sets=4,
+            llc_ways=1,
+        )
+        traces = {1: read_trace_of([0]), 0: read_trace_of([2])}
+        sim = Simulator(config, traces, start_cycles={0: 60})
+        report = sim.run()
+        record = next(r for r in report.requests if r.core == 0)
+        assert record.bus_attempts == 1
+        assert record.completed_at - record.first_on_bus_at == 45
+
+    def test_self_eviction_in_slot_by_default(self):
+        # A single core thrashing its own 1-way partition: with the
+        # in-slot self write-back, every miss completes in one attempt.
+        config = small_config(
+            num_cores=1,
+            partitions=[shared_partition(1, ways=1)],
+            llc_sets=1,
+            llc_ways=1,
+            self_writeback_in_slot=True,
+        )
+        report = simulate(config, {0: write_trace_of([0, 1, 0, 1])})
+        assert all(record.bus_attempts == 1 for record in report.requests)
+
+    def test_self_eviction_buffered_costs_extra_periods(self):
+        config = small_config(
+            num_cores=1,
+            partitions=[shared_partition(1, ways=1)],
+            llc_sets=1,
+            llc_ways=1,
+            self_writeback_in_slot=False,
+        )
+        report = simulate(config, {0: write_trace_of([0, 1, 0, 1])})
+        assert any(record.bus_attempts > 1 for record in report.requests)
+
+    def test_capacity_writeback_updates_llc(self):
+        # A core with a tiny L2 streams blocks that all fit the LLC: its
+        # L2 capacity evictions send write-backs that must land on VALID
+        # entries (UPDATED), not free anything.
+        from repro.cpu.private_stack import PrivateStackConfig
+        from repro.sim.config import SystemConfig
+
+        config = SystemConfig(
+            num_cores=1,
+            partitions=[shared_partition(1, sets=(0, 1, 2, 3), ways=4)],
+            llc_sets=4,
+            llc_ways=4,
+            stack=PrivateStackConfig(l1_sets=0, l2_sets=1, l2_ways=1),
+            record_events=True,
+            max_slots=10_000,
+        )
+        report = simulate(config, {0: write_trace_of([0, 1, 2, 3])})
+        updated = [
+            event
+            for event in report.events.of_kind(EventKind.WB_SENT)
+            if "updated" in event.detail
+        ]
+        assert updated, "capacity write-backs should update VALID entries"
+
+
+class TestArbitration:
+    def test_round_robin_interleaves_requests_and_writebacks(self):
+        config = small_config(
+            num_cores=2,
+            partitions=[shared_partition(2, ways=2)],
+            llc_sets=2,
+            llc_ways=2,
+            arbitration=ArbitrationPolicy.ROUND_ROBIN,
+        )
+        traces = {
+            0: write_trace_of([0, 2, 4, 6, 8]),
+            1: write_trace_of([1, 3, 5, 7, 9]),
+        }
+        report = simulate(config, traces)
+        assert report.core_reports[0].completed
+        assert report.core_reports[1].completed
+
+    def test_all_arbitration_policies_run_to_completion(self):
+        for policy in ArbitrationPolicy:
+            config = small_config(
+                num_cores=2,
+                partitions=[shared_partition(2, ways=2)],
+                llc_sets=2,
+                llc_ways=2,
+                arbitration=policy,
+            )
+            traces = {
+                0: write_trace_of([0, 2, 4, 6]),
+                1: write_trace_of([1, 3, 5, 7]),
+            }
+            report = simulate(config, traces)
+            assert not report.timed_out, policy
+
+
+class TestReports:
+    def test_observed_wcl_is_max_latency(self):
+        config = small_config(num_cores=2)
+        traces = {0: write_trace_of([0, 4, 8]), 1: write_trace_of([1, 5, 9])}
+        report = simulate(config, traces)
+        for core in (0, 1):
+            latencies = report.latencies(core)
+            assert report.observed_wcl(core) == max(latencies)
+        assert report.observed_wcl() == max(report.latencies())
+
+    def test_bus_wcl_not_larger_than_wcl(self):
+        config = small_config(num_cores=2)
+        traces = {0: write_trace_of([0, 4]), 1: write_trace_of([1, 5])}
+        report = simulate(config, traces)
+        for record in report.requests:
+            assert record.bus_latency <= record.latency
+
+    def test_makespan_is_max_finish(self):
+        config = small_config(num_cores=2)
+        traces = {0: write_trace_of([0]), 1: write_trace_of([1, 5, 9])}
+        report = simulate(config, traces)
+        assert report.makespan == max(
+            report.execution_time(0), report.execution_time(1)
+        )
+
+    def test_no_starved_cores_on_clean_completion(self):
+        config = small_config(num_cores=2)
+        report = simulate(config, {0: write_trace_of([0]), 1: write_trace_of([1])})
+        assert report.starved_cores() == []
+        assert not report.timed_out
+
+    def test_events_disabled_by_default_config(self):
+        config = small_config(num_cores=1, record_events=False)
+        report = simulate(config, {0: write_trace_of([0])})
+        assert len(report.events) == 0

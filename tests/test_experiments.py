@@ -1,0 +1,165 @@
+"""Integration tests for the experiment harnesses (Figures 7 and 8)."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.experiments.configs import (
+    PAPER_CORE_CAPACITY_LINES,
+    build_system_for_notation,
+    fig7_system,
+    fig8_system,
+)
+from repro.experiments.fig7 import FIG7_CONFIGS, run_fig7
+from repro.experiments.fig8 import SUBFIGURES, graded_workload, run_fig8
+from repro.experiments.tables import render_table
+from repro.llc.partition import PartitionKind
+
+
+class TestConfigBuilders:
+    def test_notation_string_accepted(self):
+        config = build_system_for_notation("SS(1,16,4)", num_cores=4)
+        assert config.num_cores == 4
+        shared = config.build_partition_map().partition_of(0)
+        assert shared.sequencer
+        assert shared.num_sets == 1
+        assert shared.num_ways == 16
+        assert shared.cores == (0, 1, 2, 3)
+
+    def test_p_notation_gives_disjoint_per_core_partitions(self):
+        config = build_system_for_notation("P(2,16)", num_cores=4)
+        pmap = config.build_partition_map()
+        sets_used = [pmap.partition_of(core).sets for core in range(4)]
+        flat = [s for sets in sets_used for s in sets]
+        assert len(set(flat)) == 8  # 4 cores x 2 sets, all distinct
+
+    def test_partial_sharing_gives_private_leftovers(self):
+        config = build_system_for_notation("SS(1,16,2)", num_cores=4)
+        pmap = config.build_partition_map()
+        assert pmap.partition_of(0).name == "shared"
+        assert pmap.partition_of(1).name == "shared"
+        assert pmap.partition_of(2).name == "core2"
+        assert not pmap.partition_of(2).sequencer
+
+    def test_geometry_exhaustion_rejected(self):
+        with pytest.raises(ConfigurationError, match="LLC has"):
+            build_system_for_notation("P(16,16)", num_cores=4)  # needs 64 sets
+
+    def test_ways_exhaustion_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_system_for_notation("SS(1,32,4)", num_cores=4)
+
+    def test_fig7_systems(self):
+        for kind in PartitionKind:
+            config = fig7_system(kind)
+            assert config.num_cores == 4
+            assert config.llc_sets == 32 and config.llc_ways == 16
+            part = config.build_partition_map().partition_of(0)
+            assert part.num_sets == 1
+            assert part.num_ways == 16
+
+    def test_fig8_capacity_split(self):
+        shared = fig8_system(PartitionKind.SS, 2, 4096)
+        assert shared.build_partition_map().partition_of(0).capacity_lines == 64
+        private = fig8_system(PartitionKind.P, 2, 4096)
+        assert private.build_partition_map().partition_of(0).capacity_lines == 32
+
+    def test_fig8_rejects_indivisible_capacity(self):
+        with pytest.raises(ConfigurationError):
+            fig8_system(PartitionKind.P, 3, 4096)
+
+    def test_fig8_uses_buffered_self_writebacks(self):
+        assert not fig8_system(PartitionKind.P, 2, 4096).self_writeback_in_slot
+
+    def test_fig7_uses_in_slot_self_writebacks(self):
+        assert fig7_system(PartitionKind.P).self_writeback_in_slot
+
+
+class TestFig7Harness:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig7(address_ranges=(1024, 4096), num_requests=120)
+
+    def test_covers_all_configs_and_ranges(self, result):
+        assert len(result.rows) == len(FIG7_CONFIGS) * 2
+
+    def test_all_observations_within_bounds(self, result):
+        assert result.all_within_bounds(), result.render()
+
+    def test_analytical_values_match_paper(self, result):
+        by_config = {row.config: row.analytical_wcl for row in result.rows}
+        assert by_config["SS(1,16,4)"] == 5_000
+        assert by_config["NSS(1,16,4)"] == 979_250
+        assert by_config["P(1,16)"] == 450
+
+    def test_private_partition_has_lowest_observed_wcl(self, result):
+        assert result.max_observed("P(1,16)") <= result.max_observed("SS(1,16,4)")
+        assert result.max_observed("P(1,16)") <= result.max_observed("NSS(1,16,4)")
+
+    def test_render_mentions_configs(self, result):
+        text = result.render()
+        for config in FIG7_CONFIGS:
+            assert config in text
+
+
+class TestFig8Harness:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig8("8a", address_ranges=(1024, 2048, 4096), num_requests=250)
+
+    def test_row_structure(self, result):
+        assert result.subfigure == "8a"
+        assert result.num_cores == 2
+        assert result.capacity_bytes == 4096
+        assert len(result.rows) == 3
+
+    def test_ties_when_range_fits_private_partition(self, result):
+        for row in result.rows_with_fit():
+            assert row.ss_cycles == row.nss_cycles == row.p_cycles
+
+    def test_ss_wins_beyond_private_partition(self, result):
+        exceeding = result.rows_exceeding()
+        assert exceeding
+        for row in exceeding:
+            assert row.ss_speedup_vs_p > 1.0
+
+    def test_unknown_subfigure_rejected(self):
+        with pytest.raises(KeyError):
+            run_fig8("8z")
+
+    def test_subfigure_parameters(self):
+        assert SUBFIGURES["8a"] == (2, 4096)
+        assert SUBFIGURES["8d"] == (4, 8192)
+
+    def test_graded_workload_is_disjoint_and_graded(self):
+        traces = graded_workload(4, 8192, num_requests=50, seed=1)
+        footprints = [set(trace.addresses()) for trace in traces.values()]
+        for i, first in enumerate(footprints):
+            for second in footprints[i + 1 :]:
+                assert not (first & second)
+        spans = [max(fp) - min(fp) for fp in footprints]
+        assert spans[0] > spans[1] >= spans[2]
+
+    def test_graded_workload_independent_of_partition_config(self):
+        # Section 5: same addresses across partitioned configurations.
+        first = graded_workload(2, 4096, 50, seed=3)
+        second = graded_workload(2, 4096, 50, seed=3)
+        assert first == second
+
+
+class TestRenderTable:
+    def test_basic_alignment(self):
+        text = render_table(["name", "value"], [["a", 1], ["bb", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert lines[2].endswith("1")
+
+    def test_title(self):
+        text = render_table(["x"], [[1]], title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_float_formatting(self):
+        assert "1.50" in render_table(["x"], [[1.5]])
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])

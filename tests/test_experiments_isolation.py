@@ -1,0 +1,68 @@
+"""Tests for the partial-sharing isolation experiment."""
+
+import pytest
+
+from repro.experiments.isolation import (
+    LOAD_LEVELS,
+    build_mixed_config,
+    run_isolation,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_isolation(seed=7)
+
+
+class TestMixedConfig:
+    def test_layout(self):
+        config = build_mixed_config()
+        pmap = config.build_partition_map()
+        shared = pmap.partition_of(0)
+        assert shared is pmap.partition_of(1)
+        assert shared.sequencer
+        assert pmap.partition_of(2) is not pmap.partition_of(3)
+        assert not pmap.partition_of(2).is_shared
+
+    def test_partitions_disjoint_sets(self):
+        config = build_mixed_config()
+        all_sets = [
+            s for p in config.build_partition_map().partitions for s in p.sets
+        ]
+        assert len(all_sets) == len(set(all_sets))
+
+
+class TestIsolation:
+    def test_private_cores_isolated(self, result):
+        assert result.private_cores_isolated()
+
+    def test_bounds_hold_at_every_load(self, result):
+        assert result.bounds_hold()
+
+    def test_all_load_levels_measured(self, result):
+        assert set(result.observed_wcl) == set(LOAD_LEVELS)
+
+    def test_private_latency_sets_nonempty(self, result):
+        for level in LOAD_LEVELS:
+            for core in (2, 3):
+                assert result.private_latencies[level][core]
+
+    def test_sharers_silent_when_idle(self, result):
+        assert 0 not in result.observed_wcl["idle"]
+        assert 1 not in result.observed_wcl["idle"]
+
+    def test_sharers_active_under_storm(self, result):
+        assert 0 in result.observed_wcl["storm"]
+        assert 1 in result.observed_wcl["storm"]
+
+    def test_render_lists_levels(self, result):
+        text = result.render()
+        for level in LOAD_LEVELS:
+            assert level in text
+
+    def test_shared_bound_is_theorem_48_for_two_sharers(self, result):
+        # (2(n-1)n + 1) * N * SW with n=2, N=4, SW=50.
+        assert result.shared_bound == 5 * 4 * 50
+
+    def test_private_bound_is_2n_plus_1(self, result):
+        assert result.private_bound == 450

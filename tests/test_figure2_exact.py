@@ -1,0 +1,104 @@
+"""Figure 2, reproduced slot by slot (the unbounded scenario).
+
+The paper's Figure 2 under the TDM schedule {c_ua, c_i, c_i}: c_ua's
+miss on X evicts l1 (privately cached by c_i); c_i writes l1 back in its
+first slot, then *reoccupies the freed entry* with its own request in
+its second slot — so at c_ua's next slot the set is full again, forever.
+
+Core mapping: c_ua -> core 0, c_i -> core 1.  Schedule (0, 1, 1).
+The interferer uses write-back-first arbitration, the interleaving the
+figure depicts.
+"""
+
+import pytest
+
+from repro.bus.arbiter import ArbitrationPolicy
+from repro.bus.schedule import TdmSchedule
+from repro.common.types import AccessType
+from repro.llc.partition import PartitionSpec
+from repro.sim.config import SystemConfig
+from repro.sim.events import EventKind
+from repro.sim.simulator import Simulator
+from repro.workloads.trace import MemoryTrace, TraceRecord
+
+SW = 50
+X = 1000
+FILL = [1, 2]          # the interferer's initial resident lines
+STREAM = list(range(3, 25))  # its (long) follow-up request stream
+
+
+@pytest.fixture(scope="module")
+def run():
+    partition = PartitionSpec("shared", [0], (0, 2), (0, 1), sequencer=False)
+    config = SystemConfig(
+        num_cores=2,
+        partitions=[partition],
+        llc_sets=1,
+        llc_ways=2,
+        slot_width=SW,
+        schedule=TdmSchedule((0, 1, 1), SW),
+        llc_policy="lru",
+        arbitration=ArbitrationPolicy.WRITEBACK_FIRST,
+        record_events=True,
+        max_slots=45,
+    )
+    traces = {
+        0: MemoryTrace([TraceRecord(X * 64, AccessType.WRITE)]),
+        1: MemoryTrace(
+            [TraceRecord(b * 64, AccessType.WRITE) for b in FILL + STREAM]
+        ),
+    }
+    # Warmup: the interferer completes one line per slot pair; its two
+    # fill lines are resident before cycle 450 (slot 9 = core 0's 4th).
+    sim = Simulator(config, traces, start_cycles={0: 450})
+    report = sim.run()
+    return sim, report
+
+
+def events_at_slot(report, slot, kind):
+    return [e for e in report.events.of_kind(kind) if e.slot == slot]
+
+
+class TestFigure2SlotBySlot:
+    def test_step1_cua_miss_evicts_interferer_line(self, run):
+        _sim, report = run
+        evictions = events_at_slot(report, 9, EventKind.EVICT_START)
+        assert len(evictions) == 1
+        assert evictions[0].core == 0
+        assert "owners=[1]" in evictions[0].detail
+
+    def test_step2_interferer_writes_back_in_first_slot(self, run):
+        _sim, report = run
+        writebacks = events_at_slot(report, 10, EventKind.WB_SENT)
+        assert len(writebacks) == 1
+        assert writebacks[0].core == 1
+        assert events_at_slot(report, 10, EventKind.ENTRY_FREED)
+
+    def test_step3_interferer_reoccupies_in_second_slot(self, run):
+        _sim, report = run
+        allocations = events_at_slot(report, 11, EventKind.LLC_ALLOC)
+        assert len(allocations) == 1
+        assert allocations[0].core == 1
+
+    def test_step4_set_full_again_at_cuas_next_slot(self, run):
+        _sim, report = run
+        # Core 0's next slot (12) evicts again — no allocation for it.
+        assert events_at_slot(report, 12, EventKind.EVICT_START)
+        assert not events_at_slot(report, 12, EventKind.LLC_ALLOC)
+
+    def test_pattern_repeats_every_period(self, run):
+        _sim, report = run
+        # Three consecutive periods of the steal loop.
+        for base in (9, 12, 15):
+            assert events_at_slot(report, base, EventKind.EVICT_START), base
+            assert events_at_slot(report, base + 1, EventKind.WB_SENT), base
+            steal = events_at_slot(report, base + 2, EventKind.LLC_ALLOC)
+            assert steal and steal[0].core == 1, base
+
+    def test_cua_starved_when_run_stops(self, run):
+        _sim, report = run
+        assert report.timed_out
+        assert report.starved_cores() == [0]
+        core0 = report.core_reports[0]
+        assert core0.outstanding_block == X
+        assert core0.outstanding_attempts >= 3

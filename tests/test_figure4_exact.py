@@ -1,0 +1,150 @@
+"""Figure 4, reproduced slot by slot (Observation 3).
+
+The paper's Figure 4: lines l1, l2 sit in set(X), both privately cached
+by c4.  c_ua requests X (evicting l1), c2 requests Y in the same set
+(evicting l2), and c3 requests A in *another* set whose victim is a
+dirty line of c_ua — forcing c_ua to spend its next slot on a
+write-back.  c4 frees l1's entry, but because c_ua's slot went to the
+write-back, **c2 occupies the free entry**: the owner of that entry
+jumps from c4 (distance 1) to c2 (distance 3).  Distance increased —
+Observation 3, the reason Theorem 4.7 is so large.
+
+Core mapping: paper c1/c_ua -> core 0, c2 -> core 1, c3 -> core 2,
+c4 -> core 3.  Schedule {0,1,2,3}, SW = 50.
+"""
+
+import pytest
+
+from repro.analysis.distance import tracker_from_events
+from repro.common.types import AccessType
+from repro.llc.partition import PartitionSpec
+from repro.sim.config import SystemConfig
+from repro.sim.events import EventKind
+from repro.sim.simulator import Simulator
+from repro.workloads.trace import MemoryTrace, TraceRecord
+
+SW = 50
+
+# Even blocks fold to set 0 (the paper's set(X)); odd blocks to set 1.
+L1, L2, X, Y = 100, 102, 104, 200    # set 0
+L, LPRIME, A = 101, 103, 201         # set 1
+
+
+@pytest.fixture(scope="module")
+def run():
+    partition = PartitionSpec(
+        "shared", [0, 1], (0, 2), (0, 1, 2, 3), sequencer=False
+    )
+    config = SystemConfig(
+        num_cores=4,
+        partitions=[partition],
+        llc_sets=2,
+        llc_ways=2,
+        slot_width=SW,
+        llc_policy="lru",
+        record_events=True,
+        max_slots=10_000,
+    )
+    traces = {
+        # c_ua: fills l, l' in set 1 during warmup, then requests X.
+        0: MemoryTrace(
+            [TraceRecord(L * 64, AccessType.WRITE),
+             TraceRecord(LPRIME * 64, AccessType.WRITE),
+             TraceRecord(X * 64, AccessType.WRITE)]
+        ),
+        # paper c2: one request to Y in set(X).
+        1: MemoryTrace([TraceRecord(Y * 64, AccessType.WRITE)]),
+        # paper c3: one request to A in set 1 (evicts c_ua's line l).
+        2: MemoryTrace([TraceRecord(A * 64, AccessType.WRITE)]),
+        # paper c4: fills l1, l2 during warmup.
+        3: MemoryTrace(
+            [TraceRecord(L1 * 64, AccessType.WRITE),
+             TraceRecord(L2 * 64, AccessType.WRITE)]
+        ),
+    }
+    sim = Simulator(config, traces, start_cycles={1: 300, 2: 320})
+    report = sim.run()
+    return sim, report
+
+
+def events_at_slot(report, slot, kind):
+    return [e for e in report.events.of_kind(kind) if e.slot == slot]
+
+
+class TestFigure4SlotBySlot:
+    def test_step1_cua_request_evicts_l1_of_c4(self, run):
+        _sim, report = run
+        evictions = events_at_slot(report, 8, EventKind.EVICT_START)
+        assert len(evictions) == 1
+        assert evictions[0].core == 0
+        assert evictions[0].block == L1
+        assert "owners=[3]" in evictions[0].detail
+
+    def test_step2_c2_request_evicts_l2_of_c4(self, run):
+        _sim, report = run
+        evictions = events_at_slot(report, 9, EventKind.EVICT_START)
+        assert len(evictions) == 1
+        assert evictions[0].core == 1
+        assert evictions[0].block == L2
+        assert "owners=[3]" in evictions[0].detail
+
+    def test_step3_c3_request_forces_cua_eviction(self, run):
+        _sim, report = run
+        evictions = events_at_slot(report, 10, EventKind.EVICT_START)
+        assert len(evictions) == 1
+        assert evictions[0].core == 2
+        assert evictions[0].block == L
+        assert "owners=[0]" in evictions[0].detail
+
+    def test_step4_c4_frees_l1_entry(self, run):
+        _sim, report = run
+        writebacks = events_at_slot(report, 11, EventKind.WB_SENT)
+        assert writebacks[0].core == 3
+        assert writebacks[0].block == L1
+        assert events_at_slot(report, 11, EventKind.ENTRY_FREED)
+
+    def test_step5_cua_slot_consumed_by_its_own_writeback(self, run):
+        _sim, report = run
+        writebacks = events_at_slot(report, 12, EventKind.WB_SENT)
+        assert len(writebacks) == 1
+        assert writebacks[0].core == 0
+        assert writebacks[0].block == L
+        assert "back-invalidation" in writebacks[0].detail
+        # And crucially: no request broadcast by core 0 in that slot.
+        assert not events_at_slot(report, 12, EventKind.REQ_BROADCAST)
+
+    def test_step5b_c2_steals_the_freed_entry(self, run):
+        _sim, report = run
+        allocations = events_at_slot(report, 13, EventKind.LLC_ALLOC)
+        assert len(allocations) == 1
+        assert allocations[0].core == 1
+        assert allocations[0].block == Y
+
+    def test_distance_increased_from_1_to_3(self, run):
+        """The paper's punchline: d goes d_{c1}^{c4}=1 -> d_{c1}^{c2}=3."""
+        sim, report = run
+        tracker = tracker_from_events(
+            report.events, sim.system.schedule, observer=0
+        )
+        l1_key = next(
+            key
+            for key, changes in tracker.history.items()
+            if any(change.owner == 3 for change in changes)
+            and any(change.owner == 1 for change in changes)
+        )
+        trajectory = [
+            d for d in tracker.trajectory(l1_key) if d is not None
+        ]
+        # Owner 3 gives distance 1; owner 1 gives distance 3.
+        assert 1 in trajectory and 3 in trajectory
+        assert trajectory.index(1) < trajectory.index(3)
+        assert tracker.increases(l1_key, across_gaps=True) >= 1
+        assert not tracker.is_non_increasing(l1_key, across_gaps=True)
+
+    def test_cua_still_completes(self, run):
+        _sim, report = run
+        assert not report.timed_out
+        record = next(
+            r for r in report.requests if r.core == 0 and r.block == X
+        )
+        assert record.completed_at is not None

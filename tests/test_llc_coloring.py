@@ -1,0 +1,132 @@
+"""Tests for the page-coloring bridge."""
+
+import pytest
+
+from repro.common.errors import PartitionError
+from repro.llc.coloring import (
+    ColorGeometry,
+    ColoredAllocator,
+    colored_allocator_for_partition,
+    colors_of_partition,
+    is_colorable,
+)
+from repro.llc.partition import PartitionSpec
+
+#: The paper's LLC with 4 KiB pages: 32 sets x 64B lines = 2 KiB of
+#: sets per "pass", pages span 64 sets worth... here: 4096/64 = 64
+#: lines per page > 32 sets -> a single color.
+PAPER = ColorGeometry(line_size=64, num_sets=32, page_size=4096)
+
+#: A colorable setup: 512-byte "pages" cover 8 sets -> 4 colors.
+SMALL_PAGES = ColorGeometry(line_size=64, num_sets=32, page_size=512)
+
+
+class TestColorGeometry:
+    def test_paper_geometry_has_one_color(self):
+        assert PAPER.sets_per_page == 32
+        assert PAPER.num_colors == 1
+
+    def test_small_pages_give_four_colors(self):
+        assert SMALL_PAGES.sets_per_page == 8
+        assert SMALL_PAGES.num_colors == 4
+
+    def test_color_of_page_cycles(self):
+        assert [SMALL_PAGES.color_of_page(i) for i in range(6)] == [0, 1, 2, 3, 0, 1]
+
+    def test_color_of_address(self):
+        assert SMALL_PAGES.color_of_address(0) == 0
+        assert SMALL_PAGES.color_of_address(512) == 1
+        assert SMALL_PAGES.color_of_address(4 * 512 + 17) == 0
+
+    def test_sets_of_color(self):
+        assert list(SMALL_PAGES.sets_of_color(0)) == list(range(0, 8))
+        assert list(SMALL_PAGES.sets_of_color(3)) == list(range(24, 32))
+
+    def test_color_bounds_checked(self):
+        with pytest.raises(PartitionError):
+            SMALL_PAGES.sets_of_color(4)
+        with pytest.raises(PartitionError):
+            SMALL_PAGES.color_of_page(-1)
+
+    def test_page_smaller_than_line_rejected(self):
+        with pytest.raises(PartitionError):
+            ColorGeometry(line_size=64, num_sets=32, page_size=32)
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(PartitionError):
+            ColorGeometry(line_size=64, num_sets=24, page_size=512)
+
+
+def partition_with_sets(sets, name="p"):
+    return PartitionSpec(name, list(sets), (0, 16), (0,))
+
+
+class TestColorsOfPartition:
+    def test_whole_color_partition(self):
+        partition = partition_with_sets(range(0, 8))
+        assert colors_of_partition(partition, SMALL_PAGES) == {0}
+
+    def test_multi_color_partition(self):
+        partition = partition_with_sets(range(8, 24))
+        assert colors_of_partition(partition, SMALL_PAGES) == {1, 2}
+
+    def test_partial_color_rejected(self):
+        partition = partition_with_sets(range(0, 4))
+        with pytest.raises(PartitionError, match="page coloring"):
+            colors_of_partition(partition, SMALL_PAGES)
+
+    def test_is_colorable(self):
+        assert is_colorable(partition_with_sets(range(0, 8)), SMALL_PAGES)
+        assert not is_colorable(partition_with_sets(range(0, 5)), SMALL_PAGES)
+
+    def test_paper_partition_of_one_set_not_colorable_with_4k_pages(self):
+        # The Figure 7 single-set partitions need hardware (way/set
+        # index) support; 4 KiB-page coloring cannot express them.
+        assert not is_colorable(partition_with_sets([0]), PAPER)
+
+    def test_full_llc_is_colorable(self):
+        assert is_colorable(partition_with_sets(range(32)), PAPER)
+
+
+class TestColoredAllocator:
+    def test_pages_cycle_through_colors(self):
+        allocator = ColoredAllocator(SMALL_PAGES, [1, 3])
+        pages = [allocator.page(i) for i in range(5)]
+        assert pages == [1, 3, 5, 7, 9]
+        assert all(SMALL_PAGES.color_of_page(p) in (1, 3) for p in pages)
+
+    def test_single_color(self):
+        allocator = ColoredAllocator(SMALL_PAGES, [2])
+        assert [allocator.page(i) for i in range(3)] == [2, 6, 10]
+
+    def test_translate_preserves_page_offsets(self):
+        allocator = ColoredAllocator(SMALL_PAGES, [0])
+        assert allocator.translate(0) == 0
+        assert allocator.translate(100) == 100
+        # Second virtual page -> next color-0 physical page (page 4).
+        assert allocator.translate(512) == 4 * 512
+        assert allocator.translate(512 + 7) == 4 * 512 + 7
+
+    def test_translated_addresses_stay_in_partition_sets(self):
+        partition = partition_with_sets(range(8, 16), name="colored")
+        allocator = colored_allocator_for_partition(partition, SMALL_PAGES)
+        for virtual in range(0, 8 * 512, 64):
+            physical = allocator.translate(virtual)
+            set_index = (physical // 64) % 32
+            assert set_index in set(partition.sets)
+
+    def test_distinct_virtual_addresses_distinct_physical(self):
+        allocator = ColoredAllocator(SMALL_PAGES, [0, 2])
+        seen = {allocator.translate(v) for v in range(0, 4096, 64)}
+        assert len(seen) == 64
+
+    def test_bad_inputs_rejected(self):
+        with pytest.raises(PartitionError):
+            ColoredAllocator(SMALL_PAGES, [])
+        with pytest.raises(PartitionError):
+            ColoredAllocator(SMALL_PAGES, [9])
+        allocator = ColoredAllocator(SMALL_PAGES, [0])
+        with pytest.raises(PartitionError):
+            allocator.translate(-1)
+        with pytest.raises(PartitionError):
+            allocator.page(-1)

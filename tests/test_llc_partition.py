@@ -1,0 +1,175 @@
+"""Unit tests for partition specs, maps and the SS/NSS/P notation."""
+
+import pytest
+
+from repro.common.errors import PartitionError
+from repro.llc.partition import (
+    PartitionKind,
+    PartitionMap,
+    PartitionNotation,
+    PartitionSpec,
+)
+
+
+def spec(name="p", sets=(0,), ways=(0, 4), cores=(0,), sequencer=False):
+    return PartitionSpec(name, list(sets), ways, cores, sequencer)
+
+
+class TestPartitionSpec:
+    def test_geometry_properties(self):
+        part = spec(sets=(0, 1, 2), ways=(4, 8), cores=(0, 1))
+        assert part.num_sets == 3
+        assert part.num_ways == 4
+        assert part.num_cores == 2
+        assert part.capacity_lines == 12
+        assert part.capacity_bytes(64) == 768
+
+    def test_is_shared(self):
+        assert spec(cores=(0, 1)).is_shared
+        assert not spec(cores=(0,)).is_shared
+
+    def test_fold_set_round_robin(self):
+        part = spec(sets=(3, 7), ways=(0, 2))
+        assert part.fold_set(0) == 3
+        assert part.fold_set(1) == 7
+        assert part.fold_set(2) == 3
+
+    def test_ways_range(self):
+        assert list(spec(ways=(2, 5)).ways()) == [2, 3, 4]
+
+    def test_cells_enumerates_rectangle(self):
+        part = spec(sets=(0, 1), ways=(0, 2))
+        assert sorted(part.cells()) == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_rejects_empty_sets(self):
+        with pytest.raises(PartitionError):
+            spec(sets=())
+
+    def test_rejects_duplicate_sets(self):
+        with pytest.raises(PartitionError):
+            spec(sets=(0, 0))
+
+    def test_rejects_bad_way_range(self):
+        with pytest.raises(PartitionError):
+            spec(ways=(4, 4))
+        with pytest.raises(PartitionError):
+            spec(ways=(5, 3))
+
+    def test_rejects_no_cores(self):
+        with pytest.raises(PartitionError):
+            spec(cores=())
+
+    def test_rejects_duplicate_cores(self):
+        with pytest.raises(PartitionError):
+            spec(cores=(0, 0))
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(PartitionError):
+            spec(name="")
+
+
+class TestPartitionMap:
+    def test_partition_of(self):
+        parts = [
+            spec(name="a", sets=(0,), ways=(0, 2), cores=(0,)),
+            spec(name="b", sets=(1,), ways=(0, 2), cores=(1, 2)),
+        ]
+        pmap = PartitionMap(parts, num_sets=2, num_ways=2)
+        assert pmap.partition_of(0).name == "a"
+        assert pmap.partition_of(2).name == "b"
+        assert pmap.cores == (0, 1, 2)
+
+    def test_unmapped_core_rejected(self):
+        pmap = PartitionMap([spec()], num_sets=1, num_ways=4)
+        with pytest.raises(PartitionError):
+            pmap.partition_of(9)
+
+    def test_has_core(self):
+        pmap = PartitionMap([spec()], num_sets=1, num_ways=4)
+        assert pmap.has_core(0)
+        assert not pmap.has_core(1)
+
+    def test_overlap_same_cell_rejected(self):
+        parts = [
+            spec(name="a", sets=(0,), ways=(0, 2), cores=(0,)),
+            spec(name="b", sets=(0,), ways=(1, 3), cores=(1,)),
+        ]
+        with pytest.raises(PartitionError, match="overlap"):
+            PartitionMap(parts, num_sets=1, num_ways=4)
+
+    def test_disjoint_ways_same_set_allowed(self):
+        parts = [
+            spec(name="a", sets=(0,), ways=(0, 2), cores=(0,)),
+            spec(name="b", sets=(0,), ways=(2, 4), cores=(1,)),
+        ]
+        pmap = PartitionMap(parts, num_sets=1, num_ways=4)
+        assert pmap.utilized_lines() == 4
+
+    def test_core_in_two_partitions_rejected(self):
+        parts = [
+            spec(name="a", sets=(0,), ways=(0, 2), cores=(0,)),
+            spec(name="b", sets=(1,), ways=(0, 2), cores=(0,)),
+        ]
+        with pytest.raises(PartitionError):
+            PartitionMap(parts, num_sets=2, num_ways=2)
+
+    def test_set_beyond_geometry_rejected(self):
+        with pytest.raises(PartitionError):
+            PartitionMap([spec(sets=(5,))], num_sets=4, num_ways=4)
+
+    def test_way_beyond_geometry_rejected(self):
+        with pytest.raises(PartitionError):
+            PartitionMap([spec(ways=(0, 8))], num_sets=4, num_ways=4)
+
+    def test_duplicate_names_rejected(self):
+        parts = [
+            spec(name="a", sets=(0,), cores=(0,)),
+            spec(name="a", sets=(1,), cores=(1,)),
+        ]
+        with pytest.raises(PartitionError):
+            PartitionMap(parts, num_sets=2, num_ways=4)
+
+    def test_empty_map_rejected(self):
+        with pytest.raises(PartitionError):
+            PartitionMap([], num_sets=1, num_ways=1)
+
+
+class TestPartitionNotation:
+    def test_parse_ss(self):
+        notation = PartitionNotation.parse("SS(1,16,4)")
+        assert notation.kind is PartitionKind.SS
+        assert (notation.sets, notation.ways, notation.cores) == (1, 16, 4)
+        assert notation.sequencer
+
+    def test_parse_nss(self):
+        notation = PartitionNotation.parse("NSS(2,8,3)")
+        assert notation.kind is PartitionKind.NSS
+        assert not notation.sequencer
+
+    def test_parse_p(self):
+        notation = PartitionNotation.parse("P(1,16)")
+        assert notation.kind is PartitionKind.P
+        assert notation.cores == 1
+
+    def test_parse_tolerates_whitespace_and_case(self):
+        assert PartitionNotation.parse(" ss( 1 , 16 , 4 ) ").kind is PartitionKind.SS
+
+    def test_p_with_core_count_rejected(self):
+        with pytest.raises(PartitionError):
+            PartitionNotation.parse("P(1,16,4)")
+
+    def test_ss_without_core_count_rejected(self):
+        with pytest.raises(PartitionError):
+            PartitionNotation.parse("SS(1,16)")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(PartitionError):
+            PartitionNotation.parse("shared(1,2)")
+
+    def test_zero_sets_rejected(self):
+        with pytest.raises(PartitionError):
+            PartitionNotation.parse("SS(0,16,4)")
+
+    def test_str_roundtrip(self):
+        for text in ("SS(1,16,4)", "NSS(2,8,3)", "P(1,16)"):
+            assert str(PartitionNotation.parse(text)) == text

@@ -1,0 +1,114 @@
+"""Unit tests for address geometry and address ranges."""
+
+import pytest
+
+from repro.common.errors import GeometryError
+from repro.mem.address import AddressGeometry, AddressRange
+
+
+class TestAddressGeometry:
+    def test_offset_bits(self):
+        assert AddressGeometry(line_size=64, num_sets=16).offset_bits == 6
+
+    def test_index_bits(self):
+        assert AddressGeometry(line_size=64, num_sets=16).index_bits == 4
+
+    def test_block_of(self):
+        geometry = AddressGeometry(line_size=64, num_sets=16)
+        assert geometry.block_of(0) == 0
+        assert geometry.block_of(63) == 0
+        assert geometry.block_of(64) == 1
+        assert geometry.block_of(1000) == 15
+
+    def test_set_index_wraps(self):
+        geometry = AddressGeometry(line_size=64, num_sets=4)
+        assert geometry.set_index(0) == 0
+        assert geometry.set_index(64) == 1
+        assert geometry.set_index(64 * 4) == 0
+
+    def test_tag_of(self):
+        geometry = AddressGeometry(line_size=64, num_sets=4)
+        assert geometry.tag_of(0) == 0
+        assert geometry.tag_of(64 * 4) == 1
+        assert geometry.tag_of(64 * 9) == 2
+
+    def test_block_roundtrip(self):
+        geometry = AddressGeometry(line_size=64, num_sets=8)
+        block = geometry.block_of(0x1234)
+        base = geometry.block_base_address(block)
+        assert base <= 0x1234 < base + 64
+
+    def test_set_index_of_block_matches_address_path(self):
+        geometry = AddressGeometry(line_size=64, num_sets=8)
+        for address in (0, 64, 128, 640, 4096):
+            assert geometry.set_index(address) == geometry.set_index_of_block(
+                geometry.block_of(address)
+            )
+
+    def test_tag_of_block_matches_address_path(self):
+        geometry = AddressGeometry(line_size=64, num_sets=8)
+        for address in (0, 64, 128, 640, 4096):
+            assert geometry.tag_of(address) == geometry.tag_of_block(
+                geometry.block_of(address)
+            )
+
+    def test_rejects_non_power_of_two_line(self):
+        with pytest.raises(GeometryError):
+            AddressGeometry(line_size=48, num_sets=4)
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(GeometryError):
+            AddressGeometry(line_size=64, num_sets=3)
+
+    def test_rejects_negative_address(self):
+        geometry = AddressGeometry(line_size=64, num_sets=4)
+        with pytest.raises(GeometryError):
+            geometry.block_of(-1)
+
+    def test_rejects_negative_block(self):
+        geometry = AddressGeometry(line_size=64, num_sets=4)
+        with pytest.raises(GeometryError):
+            geometry.set_index_of_block(-1)
+
+
+class TestAddressRange:
+    def test_contains(self):
+        address_range = AddressRange(base=100, size=50)
+        assert 100 in address_range
+        assert 149 in address_range
+        assert 150 not in address_range
+        assert 99 not in address_range
+
+    def test_end(self):
+        assert AddressRange(base=0, size=4096).end == 4096
+
+    def test_overlap_detection(self):
+        first = AddressRange(base=0, size=100)
+        assert first.overlaps(AddressRange(base=50, size=100))
+        assert first.overlaps(AddressRange(base=0, size=1))
+        assert not first.overlaps(AddressRange(base=100, size=10))
+        assert not first.overlaps(AddressRange(base=200, size=10))
+
+    def test_overlap_is_symmetric(self):
+        first = AddressRange(base=0, size=100)
+        second = AddressRange(base=90, size=100)
+        assert first.overlaps(second) == second.overlaps(first)
+
+    def test_num_blocks_aligned(self):
+        assert AddressRange(base=0, size=4096).num_blocks(64) == 64
+
+    def test_num_blocks_unaligned_range(self):
+        # 1 byte crossing a line boundary touches 2 lines.
+        assert AddressRange(base=63, size=2).num_blocks(64) == 2
+
+    def test_blocks_iterates_all(self):
+        blocks = list(AddressRange(base=128, size=128).blocks(64))
+        assert blocks == [2, 3]
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(GeometryError):
+            AddressRange(base=0, size=0)
+
+    def test_rejects_negative_base(self):
+        with pytest.raises(GeometryError):
+            AddressRange(base=-1, size=10)

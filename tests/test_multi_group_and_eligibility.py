@@ -1,0 +1,140 @@
+"""Multiple shared partitions side by side, and slot-eligibility edges."""
+
+import pytest
+
+from repro.analysis.verification import assert_bounds
+from repro.common.types import AccessType
+from repro.llc.partition import PartitionSpec
+from repro.sim.config import SystemConfig
+from repro.sim.simulator import Simulator, simulate
+from repro.workloads.trace import MemoryTrace, TraceRecord
+
+from sim_helpers import write_trace_of
+
+
+class TestTwoSharedGroups:
+    """Two independent sequencer-ordered groups on one LLC."""
+
+    def config(self):
+        partitions = [
+            PartitionSpec("groupA", [0], (0, 4), (0, 1), sequencer=True),
+            PartitionSpec("groupB", [1], (0, 4), (2, 3), sequencer=True),
+        ]
+        return SystemConfig(
+            num_cores=4,
+            partitions=partitions,
+            llc_sets=2,
+            llc_ways=4,
+            record_events=True,
+            max_slots=200_000,
+        )
+
+    def traces(self):
+        # Group A cores fold to set 0, group B cores to set 1 (their
+        # partitions have one set each, so everything folds there).
+        def storm(base):
+            return [
+                TraceRecord((base + i) * 64, AccessType.WRITE) for i in range(12)
+            ] * 3
+
+        return {
+            0: MemoryTrace(storm(0)),
+            1: MemoryTrace(storm(100)),
+            2: MemoryTrace(storm(200)),
+            3: MemoryTrace(storm(300)),
+        }
+
+    def test_both_groups_complete_within_bounds(self):
+        config = self.config()
+        report = simulate(config, self.traces())
+        assert not report.timed_out
+        assert_bounds(report, config)
+
+    def test_each_group_has_its_own_sequencer(self):
+        sim = Simulator(self.config(), self.traces())
+        report = sim.run()
+        assert set(sim.system.sequencers) == {"groupA", "groupB"}
+        for sequencer in sim.system.sequencers.values():
+            assert sequencer.stats.registrations >= 0
+
+    def test_groups_do_not_cross_talk(self):
+        sim = Simulator(self.config(), self.traces())
+        report = sim.run()
+        # No back-invalidation event ever targets a core outside the
+        # victim's partition group.
+        from repro.sim.events import EventKind
+
+        for event in report.events.of_kind(EventKind.BACK_INVALIDATE):
+            if event.set_index == 0:
+                assert event.core in (0, 1)
+            else:
+                assert event.core in (2, 3)
+
+
+class TestSlotEligibility:
+    def test_mid_slot_request_waits_for_next_own_slot(self):
+        """A miss occurring after the slot boundary cannot use that slot."""
+        config = SystemConfig(
+            num_cores=1,
+            partitions=[PartitionSpec("p", [0], (0, 4), (0,))],
+            llc_sets=1,
+            llc_ways=4,
+            record_events=True,
+        )
+        # start_cycle puts the (only) miss mid-slot 0.
+        trace = write_trace_of([1])
+        report = simulate(config, {0: trace}, start_cycles={0: 10})
+        record = report.requests[0]
+        assert record.enqueued_at == 10
+        assert record.first_on_bus_at == 50  # next slot boundary
+
+    def test_boundary_exact_miss_uses_the_slot(self):
+        config = SystemConfig(
+            num_cores=1,
+            partitions=[PartitionSpec("p", [0], (0, 4), (0,))],
+            llc_sets=1,
+            llc_ways=4,
+        )
+        report = simulate(config, {0: write_trace_of([1])}, start_cycles={0: 50})
+        record = report.requests[0]
+        assert record.enqueued_at == 50
+        assert record.first_on_bus_at == 50
+
+    def test_non_owner_slot_never_serves_requests(self):
+        config = SystemConfig(
+            num_cores=2,
+            partitions=[
+                PartitionSpec("p0", [0], (0, 4), (0,)),
+                PartitionSpec("p1", [1], (0, 4), (1,)),
+            ],
+            llc_sets=2,
+            llc_ways=4,
+            record_events=True,
+        )
+        traces = {0: write_trace_of([0, 2, 4]), 1: write_trace_of([1, 3, 5])}
+        sim = Simulator(config, traces)
+        report = sim.run()
+        from repro.sim.events import EventKind
+
+        schedule = sim.system.schedule
+        for event in report.events.of_kind(EventKind.REQ_BROADCAST):
+            assert schedule.owner_of_slot(event.slot) == event.core
+
+    def test_report_to_dict_flags_starved_cores(self):
+        from repro.bus.arbiter import ArbitrationPolicy
+        from repro.sim.export import report_to_dict
+        from sim_helpers import shared_partition, small_config
+
+        config = small_config(
+            num_cores=2,
+            partitions=[shared_partition(2, ways=1)],
+            llc_sets=1,
+            llc_ways=1,
+            arbitration=ArbitrationPolicy.REQUEST_FIRST,
+            max_slots=300,
+        )
+        traces = {0: write_trace_of([0, 2]), 1: write_trace_of([1, 3])}
+        report = simulate(config, traces)
+        data = report_to_dict(report)
+        assert data["timed_out"]
+        assert any(core["starved"] for core in data["cores"].values())

@@ -1,0 +1,164 @@
+"""Tests for the phased workload generator and seed sweeps."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.types import AccessType
+from repro.sim.sweeps import compare_configs, sweep_seeds
+from repro.workloads.phased import (
+    Phase,
+    PhaseKind,
+    PhasedWorkloadConfig,
+    control_task_config,
+    generate_phased_trace,
+    generate_phased_workload,
+)
+from repro.workloads.synthetic import SyntheticWorkloadConfig, generate_disjoint_workload
+
+from sim_helpers import shared_partition, small_config
+
+
+def single_phase_config(kind, **phase_kwargs):
+    phase = Phase("only", kind, range_bytes=1024, **phase_kwargs)
+    return PhasedWorkloadConfig(
+        phases=(phase,),
+        transitions=((1.0,),),
+        num_requests=100,
+    )
+
+
+class TestPhases:
+    def test_sequential_phase_sweeps_lines(self):
+        config = single_phase_config(PhaseKind.SEQUENTIAL, write_fraction=0.0)
+        trace = generate_phased_trace(config)
+        addresses = trace.addresses()[:16]
+        assert addresses == [i * 64 for i in range(16)]
+
+    def test_sequential_wraps(self):
+        config = single_phase_config(PhaseKind.SEQUENTIAL, write_fraction=0.0)
+        trace = generate_phased_trace(config)
+        # 1024B = 16 lines; the 17th access wraps to line 0.
+        assert trace.addresses()[16] == 0
+
+    def test_hot_set_phase_uses_few_lines(self):
+        config = single_phase_config(PhaseKind.HOT_SET, hot_lines=4)
+        trace = generate_phased_trace(config)
+        assert trace.footprint_blocks(64) <= 4
+
+    def test_random_phase_stays_in_range(self):
+        config = single_phase_config(PhaseKind.RANDOM)
+        trace = generate_phased_trace(config)
+        assert all(0 <= address < 1024 for address in trace.addresses())
+
+    def test_write_fraction_respected_at_extremes(self):
+        writes = single_phase_config(PhaseKind.RANDOM, write_fraction=1.0)
+        reads = single_phase_config(PhaseKind.RANDOM, write_fraction=0.0)
+        assert generate_phased_trace(writes).write_fraction() == 1.0
+        assert generate_phased_trace(reads).write_fraction() == 0.0
+
+    def test_deterministic(self):
+        config = control_task_config(num_requests=200, seed=5)
+        assert generate_phased_trace(config, 1) == generate_phased_trace(config, 1)
+
+    def test_cores_differ(self):
+        config = control_task_config(num_requests=200, seed=5)
+        assert generate_phased_trace(config, 0) != generate_phased_trace(config, 1)
+
+
+class TestConfigValidation:
+    def test_bad_transition_row_sum(self):
+        phase = Phase("p", PhaseKind.RANDOM, 1024)
+        with pytest.raises(ConfigurationError, match="probability"):
+            PhasedWorkloadConfig(
+                phases=(phase,), transitions=((0.5,),), num_requests=10
+            )
+
+    def test_bad_matrix_shape(self):
+        phase = Phase("p", PhaseKind.RANDOM, 1024)
+        with pytest.raises(ConfigurationError):
+            PhasedWorkloadConfig(
+                phases=(phase, phase), transitions=((1.0,),), num_requests=10
+            )
+
+    def test_footprint_is_largest_phase(self):
+        config = control_task_config(footprint_bytes=8192)
+        assert config.footprint_bytes == 8192
+
+    def test_control_task_visits_all_phases(self):
+        config = control_task_config(num_requests=3000, seed=1)
+        trace = generate_phased_trace(config)
+        # The hot loop alone touches ~8 lines; scans/lookups push the
+        # footprint toward the full range.
+        assert trace.footprint_blocks(64) > 16
+
+
+class TestPhasedWorkload:
+    def test_disjoint_across_cores(self):
+        traces = generate_phased_workload([0, 1, 2], num_requests=300)
+        footprints = [set(t.addresses()) for t in traces.values()]
+        for i, first in enumerate(footprints):
+            for second in footprints[i + 1 :]:
+                assert not (first & second)
+
+    def test_overlapping_stride_rejected(self):
+        with pytest.raises(ConfigurationError):
+            generate_phased_workload([0, 1], footprint_bytes=8192, stride=1024)
+
+    def test_runs_through_the_simulator(self):
+        from repro.sim.simulator import simulate
+
+        config = small_config(
+            num_cores=2,
+            partitions=[shared_partition(2, sets=(0, 1, 2, 3), ways=4)],
+            llc_sets=4,
+            llc_ways=4,
+            max_slots=300_000,
+        )
+        traces = generate_phased_workload([0, 1], num_requests=300,
+                                          footprint_bytes=2048)
+        report = simulate(config, traces)
+        assert not report.timed_out
+        # Temporal locality should buy a decent private hit count.
+        assert report.core_reports[0].private_hits > 0
+
+
+class TestSweeps:
+    def factory(self, num_cores=2):
+        def build(seed):
+            workload = SyntheticWorkloadConfig(
+                num_requests=80, address_range_size=1024, seed=seed
+            )
+            return generate_disjoint_workload(workload, list(range(num_cores)))
+
+        return build
+
+    def test_sweep_aggregates(self):
+        config = small_config(num_cores=2)
+        result = sweep_seeds(config, self.factory(), seeds=[1, 2, 3])
+        assert len(result.observed_wcls) == 3
+        assert result.max_observed_wcl == max(result.observed_wcls)
+        assert result.wcl_spread >= 0
+        assert result.mean_makespan > 0
+
+    def test_check_failure_names_seed(self):
+        config = small_config(num_cores=2)
+
+        def check(report):
+            assert report.observed_wcl() < 0, "impossible"
+
+        with pytest.raises(AssertionError, match="seed 1"):
+            sweep_seeds(config, self.factory(), seeds=[1], check=check)
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sweep_seeds(small_config(num_cores=2), self.factory(), seeds=[])
+
+    def test_compare_configs_same_traces(self):
+        ss = small_config(num_cores=2, sequencer=True)
+        nss = small_config(num_cores=2, sequencer=False)
+        results = compare_configs(
+            {"ss": ss, "nss": nss}, self.factory(), seeds=[5, 6]
+        )
+        assert set(results) == {"ss", "nss"}
+        for result in results.values():
+            assert len(result.seeds) == 2

@@ -1,0 +1,91 @@
+"""Property-based tests of the admission planner."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.admission import PlatformSpec, TaskSpec, plan_admission
+from repro.llc.partition import PartitionMap
+
+PLATFORM = PlatformSpec(num_cores=8, llc_sets=32, llc_ways=16, slot_width=50)
+
+
+def tasksets():
+    task = st.tuples(
+        st.integers(min_value=100, max_value=100_000),   # budget
+        st.integers(min_value=64, max_value=64_000),     # footprint
+        st.booleans(),                                   # allow sharing
+    )
+    return st.lists(task, min_size=1, max_size=8).map(
+        lambda raw: [
+            TaskSpec(
+                name=f"t{core}",
+                core=core,
+                latency_budget_cycles=budget,
+                footprint_bytes=footprint,
+                allow_sharing=sharing,
+            )
+            for core, (budget, footprint, sharing) in enumerate(raw)
+        ]
+    )
+
+
+@given(tasks=tasksets())
+@settings(max_examples=80)
+def test_plan_always_fits_the_llc(tasks):
+    plan = plan_admission(tasks, PLATFORM)
+    assert plan.sets_used <= PLATFORM.llc_sets
+    assert all(partition.num_sets >= 1 for partition in plan.partitions)
+
+
+@given(tasks=tasksets())
+@settings(max_examples=80)
+def test_partitions_are_a_valid_disjoint_map(tasks):
+    plan = plan_admission(tasks, PLATFORM)
+    # PartitionMap's constructor enforces disjointness and coverage.
+    pmap = PartitionMap(plan.partitions, PLATFORM.llc_sets, PLATFORM.llc_ways)
+    assert set(pmap.cores) == {task.core for task in tasks}
+
+
+@given(tasks=tasksets())
+@settings(max_examples=80)
+def test_every_task_has_a_verdict(tasks):
+    plan = plan_admission(tasks, PLATFORM)
+    assert set(plan.verdicts) == {task.name for task in tasks}
+
+
+@given(tasks=tasksets())
+@settings(max_examples=80)
+def test_isolation_requests_honoured(tasks):
+    plan = plan_admission(tasks, PLATFORM)
+    for task in tasks:
+        if not task.allow_sharing:
+            assert plan.verdicts[task.name].shared_with == ()
+
+
+@given(tasks=tasksets())
+@settings(max_examples=80)
+def test_admitted_tasks_really_fit_their_budget(tasks):
+    plan = plan_admission(tasks, PLATFORM)
+    for verdict in plan.verdicts.values():
+        if verdict.admitted:
+            assert verdict.bound_cycles <= verdict.task.latency_budget_cycles
+        else:
+            assert verdict.bound_cycles > verdict.task.latency_budget_cycles
+
+
+@given(tasks=tasksets())
+@settings(max_examples=80)
+def test_feasibility_matches_verdicts(tasks):
+    plan = plan_admission(tasks, PLATFORM)
+    assert plan.feasible == all(v.admitted for v in plan.verdicts.values())
+
+
+@given(tasks=tasksets())
+@settings(max_examples=40)
+def test_shared_partitions_have_sequencers(tasks):
+    plan = plan_admission(tasks, PLATFORM)
+    for partition in plan.partitions:
+        if partition.is_shared:
+            assert partition.sequencer
+        else:
+            assert not partition.sequencer

@@ -1,0 +1,134 @@
+"""Property-based tests of whole-system behaviour on random workloads.
+
+These are the heavyweight guarantees of the reproduction:
+
+* simulations of 1S-TDM systems always terminate (Observation 2);
+* the inclusive hierarchy is coherent when they do;
+* observed request latencies never exceed the analytical bounds
+  (Theorems 4.7 and 4.8);
+* replaying the same traces is deterministic.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.wcl import (
+    SharedPartitionParams,
+    wcl_nss_cycles,
+    wcl_ss_cycles,
+)
+from repro.common.types import AccessType
+from repro.sim.simulator import Simulator, simulate
+from repro.workloads.trace import MemoryTrace, TraceRecord
+
+from sim_helpers import shared_partition, small_config
+
+LINE = 64
+
+
+def traces_strategy(num_cores: int, max_block: int = 12, max_len: int = 25):
+    """Disjoint per-core block streams (core i uses blocks i*100+...)."""
+    record = st.tuples(
+        st.integers(min_value=0, max_value=max_block),
+        st.booleans(),
+    )
+    per_core = st.lists(record, min_size=0, max_size=max_len)
+    return st.lists(per_core, min_size=num_cores, max_size=num_cores).map(
+        lambda cores: {
+            core: MemoryTrace(
+                [
+                    TraceRecord(
+                        (offset * 4 + core) * LINE,
+                        AccessType.WRITE if is_write else AccessType.READ,
+                    )
+                    for offset, is_write in records
+                ],
+                name=f"prop-core{core}",
+            )
+            for core, records in enumerate(cores)
+        }
+    )
+
+
+def prop_config(num_cores: int, sequencer: bool, ways: int = 4):
+    return small_config(
+        num_cores=num_cores,
+        partitions=[shared_partition(num_cores, ways=ways, sequencer=sequencer)],
+        llc_sets=1,
+        llc_ways=ways,
+        sequencer=sequencer,
+        record_events=False,
+        max_slots=200_000,
+    )
+
+
+def bound_params(num_cores: int, ways: int = 4):
+    return SharedPartitionParams(
+        total_cores=num_cores,
+        sharers=num_cores,
+        ways=ways,
+        partition_lines=ways,
+        core_capacity_lines=64,
+        slot_width=50,
+    )
+
+
+@given(traces=traces_strategy(2))
+@settings(max_examples=30, deadline=None)
+def test_two_core_nss_terminates_within_theorem_47(traces):
+    report = simulate(prop_config(2, sequencer=False), traces)
+    assert not report.timed_out
+    assert report.starved_cores() == []
+    if report.requests:
+        assert report.observed_bus_wcl() <= wcl_nss_cycles(bound_params(2))
+
+
+@given(traces=traces_strategy(3))
+@settings(max_examples=30, deadline=None)
+def test_three_core_ss_within_theorem_48(traces):
+    report = simulate(prop_config(3, sequencer=True), traces)
+    assert not report.timed_out
+    if report.requests:
+        assert report.observed_bus_wcl() <= wcl_ss_cycles(bound_params(3))
+
+
+@given(traces=traces_strategy(2))
+@settings(max_examples=30, deadline=None)
+def test_inclusivity_after_random_workload(traces):
+    sim = Simulator(prop_config(2, sequencer=True), traces)
+    sim.run()
+    sim.system.check_inclusivity()  # raises on violation
+
+
+@given(traces=traces_strategy(2))
+@settings(max_examples=20, deadline=None)
+def test_simulation_is_deterministic(traces):
+    config = prop_config(2, sequencer=False)
+    first = simulate(config, traces)
+    second = simulate(config, traces)
+    assert first.total_slots == second.total_slots
+    assert first.makespan == second.makespan
+    assert [r.completed_at for r in first.requests] == [
+        r.completed_at for r in second.requests
+    ]
+
+
+@given(traces=traces_strategy(2))
+@settings(max_examples=20, deadline=None)
+def test_request_accounting_is_consistent(traces):
+    report = simulate(prop_config(2, sequencer=False), traces)
+    for core, trace in traces.items():
+        core_report = report.core_reports[core]
+        # Every trace record was either a private hit or an LLC request.
+        assert core_report.private_hits + core_report.requests == len(trace)
+        assert core_report.completed
+
+
+@given(traces=traces_strategy(2))
+@settings(max_examples=20, deadline=None)
+def test_latencies_are_positive_and_bounded_by_makespan(traces):
+    report = simulate(prop_config(2, sequencer=False), traces)
+    for record in report.requests:
+        assert record.latency > 0
+        assert record.first_on_bus_at >= record.enqueued_at
+        assert record.completed_at <= report.total_cycles

@@ -1,0 +1,127 @@
+"""Property-based test of the LLC entry lifecycle against a mirror model.
+
+Drives the :class:`PartitionedLlc` with random—but protocol-legal—
+operation sequences while a plain-dict mirror tracks what *should* be
+resident, pending and owned.  Catches lifecycle bugs (double frees,
+stale indexes, lost owners) that scripted tests can miss.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.types import EntryState
+from repro.llc.llc import PartitionedLlc, WritebackOutcome
+from repro.llc.partition import PartitionMap, PartitionSpec
+
+CORES = (0, 1)
+WAYS = 2
+BLOCKS = list(range(8))
+
+
+def make_llc():
+    partition = PartitionSpec("shared", [0], (0, WAYS), CORES)
+    return PartitionedLlc(1, WAYS, PartitionMap([partition], 1, WAYS))
+
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["request", "writeback"]),
+        st.sampled_from(CORES),
+        st.sampled_from(BLOCKS),
+    ),
+    min_size=1,
+    max_size=150,
+)
+
+
+class Mirror:
+    """What the LLC should contain, tracked independently."""
+
+    def __init__(self) -> None:
+        self.valid: dict[int, set] = {}     # block -> owners
+        self.pending: dict[int, set] = {}   # block -> awaited writers
+        self.free = WAYS
+
+
+@given(ops=operations)
+@settings(max_examples=100)
+def test_lifecycle_matches_mirror(ops):
+    llc = make_llc()
+    mirror = Mirror()
+    for op, core, block in ops:
+        if op == "request":
+            if block in mirror.pending:
+                continue  # own-block-pending: the engine would wait
+            if llc.lookup(core, block) is not None:
+                assert block in mirror.valid
+                llc.add_owner(core, block)
+                mirror.valid[block].add(core)
+                continue
+            assert block not in mirror.valid
+            if mirror.free == 0:
+                victim = llc.choose_victim(core, block)
+                if victim is None:
+                    continue  # everything pending; a real engine waits
+                owners = set(victim.owners)
+                freed = llc.begin_eviction(victim, dirty_owners=owners)
+                assert victim.block in mirror.valid
+                del mirror.valid[victim.block]
+                if owners:
+                    assert not freed
+                    mirror.pending[victim.block] = owners
+                else:
+                    assert freed
+                    mirror.free += 1
+            if mirror.free > 0:
+                llc.allocate(core, block)
+                mirror.valid[block] = {core}
+                mirror.free -= 1
+        else:  # writeback
+            outcome = llc.complete_writeback(core, block)
+            if block in mirror.pending and core in mirror.pending[block]:
+                mirror.pending[block].discard(core)
+                if mirror.pending[block]:
+                    assert outcome is WritebackOutcome.PENDING
+                else:
+                    assert outcome is WritebackOutcome.FREED
+                    del mirror.pending[block]
+                    mirror.free += 1
+            elif block in mirror.valid:
+                assert outcome is WritebackOutcome.UPDATED
+            else:
+                assert outcome is WritebackOutcome.DRAM_DIRECT
+
+        # Mirror and LLC agree after every step.
+        llc.validate()
+        assert llc.occupancy() == len(mirror.valid)
+        assert llc.pending_evictions() == len(mirror.pending)
+        assert sorted(llc.resident_blocks()) == sorted(mirror.valid)
+        for resident, owners in mirror.valid.items():
+            assert llc.directory.owners_of(resident) == frozenset(owners)
+
+
+@given(ops=operations)
+@settings(max_examples=50)
+def test_states_partition_the_ways(ops):
+    """FREE + VALID + PENDING always account for every way."""
+    llc = make_llc()
+    for op, core, block in ops:
+        if op == "request" and llc.probe(core, block) is None:
+            if llc.block_is_pending(block):
+                continue
+            if llc.free_entry(core, block) is None:
+                victim = llc.choose_victim(core, block)
+                if victim is not None:
+                    llc.begin_eviction(victim, dirty_owners=set(victim.owners))
+            if llc.free_entry(core, block) is not None:
+                llc.allocate(core, block)
+        elif op == "writeback":
+            llc.complete_writeback(core, block)
+        states = [llc.entry(0, way).state for way in range(WAYS)]
+        assert len(states) == WAYS
+        assert all(isinstance(state, EntryState) for state in states)
+        assert (
+            llc.occupancy() + llc.pending_evictions()
+            + sum(1 for s in states if s is EntryState.FREE)
+            == WAYS
+        )

@@ -1,0 +1,88 @@
+"""Property-based tests of the private stack's inclusive discipline."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.types import AccessType
+from repro.cpu.private_stack import PrivateStack, PrivateStackConfig
+
+CONFIGS = [
+    PrivateStackConfig(l1_sets=1, l1_ways=1, l2_sets=2, l2_ways=2),
+    PrivateStackConfig(l1_sets=2, l1_ways=2, l2_sets=4, l2_ways=2),
+    PrivateStackConfig(l1_sets=0, l2_sets=2, l2_ways=2),
+]
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["access", "fill", "invalidate"]),
+        st.integers(min_value=0, max_value=15),
+        st.sampled_from([AccessType.READ, AccessType.WRITE, AccessType.INSTR]),
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+def drive(stack: PrivateStack, ops) -> None:
+    for op, block, access in ops:
+        if op == "access":
+            stack.access(block, access)
+        elif op == "fill":
+            if not stack.l2.contains(block):
+                stack.fill_from_llc(block, access)
+            else:
+                stack.access(block, access)
+        else:
+            stack.invalidate_block(block)
+
+
+@given(ops=operations, config_index=st.integers(0, len(CONFIGS) - 1))
+@settings(max_examples=80)
+def test_l1_always_subset_of_l2(ops, config_index):
+    stack = PrivateStack(0, CONFIGS[config_index])
+    drive(stack, ops)
+    stack.check_l1_inclusion()
+
+
+@given(ops=operations, config_index=st.integers(0, len(CONFIGS) - 1))
+@settings(max_examples=80)
+def test_occupancy_never_exceeds_l2_capacity(ops, config_index):
+    config = CONFIGS[config_index]
+    stack = PrivateStack(0, config)
+    drive(stack, ops)
+    assert stack.l2.occupancy() <= config.l2_capacity_lines
+
+
+@given(ops=operations)
+@settings(max_examples=80)
+def test_invalidate_removes_everywhere(ops):
+    stack = PrivateStack(0, CONFIGS[1])
+    drive(stack, ops)
+    for block in list(stack.resident_blocks()):
+        removed = stack.invalidate_block(block)
+        assert removed is not None
+        assert not stack.contains(block)
+
+
+@given(ops=operations)
+@settings(max_examples=60)
+def test_dirtiness_only_from_writes(ops):
+    """A stack that never sees a write never holds a dirty line."""
+    read_only = [
+        (op, block, AccessType.READ if access is AccessType.WRITE else access)
+        for op, block, access in ops
+    ]
+    stack = PrivateStack(0, CONFIGS[1])
+    drive(stack, read_only)
+    for block in stack.resident_blocks():
+        assert not stack.is_dirty(block)
+
+
+@given(ops=operations)
+@settings(max_examples=60)
+def test_write_fill_leaves_dirty_copy(ops):
+    stack = PrivateStack(0, CONFIGS[1])
+    drive(stack, ops)
+    if not stack.l2.contains(99):
+        stack.fill_from_llc(99, AccessType.WRITE)
+        assert stack.is_dirty(99)

@@ -1,0 +1,183 @@
+"""Unit tests for the set sequencer (QLT + SQ, Section 4.5)."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.sequencer.qlt import QueueLookupTable
+from repro.sequencer.set_sequencer import SetSequencer
+from repro.sequencer.sq import SequencerQueue
+
+
+class TestSequencerQueue:
+    def test_fifo_order(self):
+        queue = SequencerQueue(0)
+        queue.enqueue(2)
+        queue.enqueue(0)
+        queue.enqueue(3)
+        assert queue.snapshot() == (2, 0, 3)
+        assert queue.head == 2
+
+    def test_pop_head(self):
+        queue = SequencerQueue(0)
+        queue.enqueue(1)
+        queue.enqueue(2)
+        queue.pop_head(1)
+        assert queue.head == 2
+
+    def test_pop_wrong_core_rejected(self):
+        queue = SequencerQueue(0)
+        queue.enqueue(1)
+        queue.enqueue(2)
+        with pytest.raises(SimulationError):
+            queue.pop_head(2)
+
+    def test_duplicate_enqueue_rejected(self):
+        queue = SequencerQueue(0)
+        queue.enqueue(1)
+        with pytest.raises(SimulationError):
+            queue.enqueue(1)
+
+    def test_remove_mid_queue(self):
+        queue = SequencerQueue(0)
+        for core in (1, 2, 3):
+            queue.enqueue(core)
+        assert queue.remove(2)
+        assert queue.snapshot() == (1, 3)
+        assert not queue.remove(2)
+
+    def test_max_depth(self):
+        queue = SequencerQueue(0)
+        for core in (1, 2, 3):
+            queue.enqueue(core)
+        queue.pop_head(1)
+        assert queue.max_depth == 3
+
+    def test_contains(self):
+        queue = SequencerQueue(0)
+        queue.enqueue(5)
+        assert queue.contains(5)
+        assert not queue.contains(6)
+
+
+class TestQueueLookupTable:
+    def test_acquire_maps_set(self):
+        qlt = QueueLookupTable(num_sets=8)
+        queue = qlt.acquire(3)
+        assert queue is qlt.queue_for(3)
+        assert qlt.active_entries == 1
+
+    def test_acquire_is_stable(self):
+        qlt = QueueLookupTable(num_sets=8)
+        assert qlt.acquire(3) is qlt.acquire(3)
+
+    def test_release_only_when_empty(self):
+        qlt = QueueLookupTable(num_sets=8)
+        queue = qlt.acquire(3)
+        queue.enqueue(0)
+        qlt.release_if_empty(3)
+        assert qlt.queue_for(3) is queue
+        queue.pop_head(0)
+        qlt.release_if_empty(3)
+        assert qlt.queue_for(3) is None
+
+    def test_queue_pool_recycled(self):
+        qlt = QueueLookupTable(num_sets=8, max_queues=1)
+        qlt.acquire(0)
+        qlt.release_if_empty(0)
+        assert qlt.acquire(5) is not None
+
+    def test_overflow_returns_none_and_counts(self):
+        qlt = QueueLookupTable(num_sets=8, max_queues=1)
+        first = qlt.acquire(0)
+        first.enqueue(0)
+        assert qlt.acquire(1) is None
+        assert qlt.overflows == 1
+
+    def test_out_of_range_set_rejected(self):
+        with pytest.raises(SimulationError):
+            QueueLookupTable(num_sets=4).acquire(4)
+
+
+class TestSetSequencer:
+    def test_register_in_broadcast_order(self):
+        sequencer = SetSequencer(num_sets=8)
+        sequencer.register(2, 0)
+        sequencer.register(0, 0)
+        assert sequencer.queue_snapshot(0) == (2, 0)
+
+    def test_register_is_idempotent_per_request(self):
+        sequencer = SetSequencer(num_sets=8)
+        sequencer.register(1, 0)
+        sequencer.register(1, 0)
+        assert sequencer.queue_snapshot(0) == (1,)
+
+    def test_only_head_may_claim(self):
+        sequencer = SetSequencer(num_sets=8)
+        sequencer.register(2, 0)
+        sequencer.register(1, 0)
+        assert sequencer.may_claim(2, 0)
+        assert not sequencer.may_claim(1, 0)
+
+    def test_unqueued_core_may_claim_empty_set(self):
+        sequencer = SetSequencer(num_sets=8)
+        assert sequencer.may_claim(0, 5)
+
+    def test_complete_pops_head_and_promotes_next(self):
+        sequencer = SetSequencer(num_sets=8)
+        sequencer.register(2, 0)
+        sequencer.register(1, 0)
+        sequencer.complete(2, 0)
+        assert sequencer.may_claim(1, 0)
+
+    def test_complete_of_unregistered_core_is_noop(self):
+        sequencer = SetSequencer(num_sets=8)
+        sequencer.complete(0, 3)  # completed on first attempt
+
+    def test_cancel_from_middle(self):
+        sequencer = SetSequencer(num_sets=8)
+        for core in (3, 1, 2):
+            sequencer.register(core, 0)
+        sequencer.cancel(1)
+        assert sequencer.queue_snapshot(0) == (3, 2)
+
+    def test_queue_released_after_drain(self):
+        sequencer = SetSequencer(num_sets=8)
+        sequencer.register(0, 4)
+        sequencer.complete(0, 4)
+        assert sequencer.qlt.active_entries == 0
+
+    def test_is_queued_tracking(self):
+        sequencer = SetSequencer(num_sets=8)
+        assert not sequencer.is_queued(0)
+        sequencer.register(0, 2)
+        assert sequencer.is_queued(0)
+        assert sequencer.queued_set_of(0) == 2
+        sequencer.complete(0, 2)
+        assert not sequencer.is_queued(0)
+
+    def test_overflow_falls_back_to_best_effort(self):
+        sequencer = SetSequencer(num_sets=8, max_queues=1)
+        sequencer.register(0, 0)
+        sequencer.register(1, 5)  # overflows, handled best-effort
+        assert sequencer.may_claim(1, 5)
+        sequencer.complete(1, 5)
+        assert sequencer.qlt.overflows == 1
+
+    def test_stats_counting(self):
+        sequencer = SetSequencer(num_sets=8)
+        sequencer.register(0, 0)
+        sequencer.register(1, 0)
+        sequencer.may_claim(0, 0)
+        sequencer.may_claim(1, 0)
+        sequencer.complete(0, 0)
+        assert sequencer.stats.registrations == 2
+        assert sequencer.stats.head_grants == 1
+        assert sequencer.stats.blocked_not_head == 1
+        assert sequencer.stats.completions == 1
+
+    def test_separate_sets_have_independent_queues(self):
+        sequencer = SetSequencer(num_sets=8)
+        sequencer.register(0, 1)
+        sequencer.register(1, 2)
+        assert sequencer.may_claim(0, 1)
+        assert sequencer.may_claim(1, 2)

@@ -1,0 +1,178 @@
+"""Unit tests for report export, latency statistics and timelines."""
+
+import csv
+import json
+
+import pytest
+
+from repro.common.errors import ReproError
+from repro.sim.export import (
+    LatencyStats,
+    core_latency_stats,
+    latency_histogram,
+    percentile,
+    report_to_dict,
+    write_report_json,
+    write_requests_csv,
+)
+from repro.sim.simulator import Simulator, simulate
+from repro.sim.timeline import LEGEND, render_timeline
+
+from sim_helpers import shared_partition, small_config, write_trace_of
+
+
+@pytest.fixture(scope="module")
+def sample_run():
+    config = small_config(num_cores=2)
+    traces = {0: write_trace_of([0, 4, 8]), 1: write_trace_of([1, 5, 9])}
+    sim = Simulator(config, traces)
+    return sim, sim.run()
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        sample = [10, 20, 30, 40, 50, 60, 70, 80, 90, 100]
+        assert percentile(sample, 50) == 50
+        assert percentile(sample, 90) == 90
+        assert percentile(sample, 99) == 100
+        assert percentile(sample, 100) == 100
+
+    def test_single_element(self):
+        assert percentile([42], 50) == 42
+        assert percentile([42], 99) == 42
+
+    def test_returns_observed_value(self):
+        sample = sorted([13, 77, 200, 1042])
+        for pct in (10, 25, 50, 75, 90, 99):
+            assert percentile(sample, pct) in sample
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            percentile([], 50)
+
+    def test_bad_pct_rejected(self):
+        with pytest.raises(ReproError):
+            percentile([1], 0)
+        with pytest.raises(ReproError):
+            percentile([1], 101)
+
+
+class TestLatencyStats:
+    def test_basic(self):
+        stats = LatencyStats.of([100, 200, 300, 400])
+        assert stats.count == 4
+        assert stats.minimum == 100
+        assert stats.maximum == 400
+        assert stats.mean == 250
+        assert stats.p50 == 200
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            LatencyStats.of([])
+
+    def test_from_report(self, sample_run):
+        _sim, report = sample_run
+        stats = core_latency_stats(report)
+        assert stats.count == len(report.requests)
+        assert stats.maximum == report.observed_wcl()
+
+
+class TestHistogram:
+    def test_buckets_by_width(self):
+        histogram = latency_histogram([45, 95, 96, 245], 50)
+        assert histogram == {0: 1, 50: 2, 200: 1}
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ReproError):
+            latency_histogram([1], 0)
+
+    def test_counts_preserved(self):
+        latencies = [10, 20, 30, 110, 120, 510]
+        histogram = latency_histogram(latencies, 100)
+        assert sum(histogram.values()) == len(latencies)
+
+
+class TestExport:
+    def test_report_dict_fields(self, sample_run):
+        _sim, report = sample_run
+        data = report_to_dict(report)
+        assert data["makespan"] == report.makespan
+        assert data["observed_wcl"] == report.observed_wcl()
+        assert data["llc"]["hit_rate"] == report.llc_stats.hit_rate
+        assert set(data["cores"]) == {"0", "1"}
+
+    def test_json_roundtrip(self, sample_run, tmp_path):
+        _sim, report = sample_run
+        path = tmp_path / "report.json"
+        write_report_json(report, path)
+        loaded = json.loads(path.read_text())
+        assert loaded == report_to_dict(report)
+
+    def test_csv_rows(self, sample_run, tmp_path):
+        _sim, report = sample_run
+        path = tmp_path / "requests.csv"
+        write_requests_csv(report, path)
+        with open(path) as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == len(report.requests)
+        assert int(rows[0]["latency"]) == report.requests[0].latency
+
+
+class TestTimeline:
+    def test_renders_rows_per_core(self, sample_run):
+        sim, report = sample_run
+        text = render_timeline(
+            report.events, sim.system.schedule, num_cores=2, num_slots=20
+        )
+        lines = text.splitlines()
+        assert any(line.startswith("core  0") for line in lines)
+        assert any(line.startswith("core  1") for line in lines)
+        assert lines[-1] == LEGEND
+
+    def test_row_width_matches_slots(self, sample_run):
+        sim, report = sample_run
+        text = render_timeline(
+            report.events, sim.system.schedule, num_cores=2, num_slots=30
+        )
+        for line in text.splitlines():
+            if line.startswith("core"):
+                assert len(line[8:]) == 30
+
+    def test_alternating_ownership(self, sample_run):
+        sim, report = sample_run
+        text = render_timeline(
+            report.events, sim.system.schedule, num_cores=2, num_slots=10
+        )
+        core0_row = next(
+            line for line in text.splitlines() if line.startswith("core  0")
+        )
+        cells = core0_row[8:]
+        # Core 0 owns even slots in the default 2-core 1S-TDM.
+        assert all(cells[i] == "." for i in range(1, 10, 2))
+        assert all(cells[i] != "." for i in range(0, 10, 2))
+
+    def test_contains_activity_symbols(self, sample_run):
+        sim, report = sample_run
+        text = render_timeline(
+            report.events, sim.system.schedule, num_cores=2, num_slots=20
+        )
+        body = "".join(
+            line[8:]
+            for line in text.splitlines()
+            if line.startswith("core")
+        )
+        assert "A" in body  # allocations happened
+
+    def test_empty_log_rejected(self, sample_run):
+        sim, _report = sample_run
+        from repro.sim.events import EventLog
+
+        with pytest.raises(ReproError, match="record_events"):
+            render_timeline(EventLog(), sim.system.schedule, num_cores=2)
+
+    def test_bad_num_slots_rejected(self, sample_run):
+        sim, report = sample_run
+        with pytest.raises(ReproError):
+            render_timeline(
+                report.events, sim.system.schedule, num_cores=2, num_slots=0
+            )

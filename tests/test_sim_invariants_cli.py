@@ -1,0 +1,126 @@
+"""System invariants through full runs, plus CLI coverage."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.sim.simulator import Simulator
+from repro.workloads.adversarial import conflict_storm_traces
+from repro.workloads.synthetic import (
+    SyntheticWorkloadConfig,
+    generate_disjoint_workload,
+)
+
+from sim_helpers import shared_partition, small_config, write_trace_of
+
+
+class TestInclusivityInvariant:
+    def test_holds_after_storm(self):
+        config = small_config(
+            num_cores=4,
+            partitions=[shared_partition(4, ways=4, sequencer=True)],
+            llc_sets=1,
+            llc_ways=4,
+            max_slots=500_000,
+        )
+        traces = conflict_storm_traces(
+            cores=[0, 1, 2, 3], partition_sets=1, lines_per_core=6, repeats=15
+        )
+        sim = Simulator(config, traces)
+        sim.run()  # Simulator.run checks inclusivity at the end
+        sim.system.check_inclusivity()
+
+    def test_holds_mid_run_every_period(self):
+        config = small_config(
+            num_cores=2,
+            partitions=[shared_partition(2, ways=2)],
+            llc_sets=2,
+            llc_ways=2,
+            max_slots=50_000,
+        )
+        traces = {
+            0: write_trace_of([0, 2, 4, 6, 0, 2]),
+            1: write_trace_of([1, 3, 5, 7, 1, 3]),
+        }
+        sim = Simulator(config, traces)
+        engine = sim.engine
+        # Drive the engine slot by slot, checking after each slot.
+        while not engine._finished() and engine._slot < 2_000:
+            slot_start = engine.schedule.slot_start(engine._slot)
+            for core_id in sim.system.cores:
+                engine._advance_core(core_id, slot_start + 1)
+            owner = engine.schedule.owner_of_slot(engine._slot)
+            engine._do_slot(owner, slot_start)
+            engine._slot += 1
+            sim.system.check_inclusivity()
+        assert engine._finished()
+
+    def test_synthetic_workload_leaves_llc_consistent(self):
+        config = small_config(
+            num_cores=2,
+            partitions=[shared_partition(2, sets=(0, 1, 2, 3), ways=4)],
+            llc_sets=4,
+            llc_ways=4,
+            max_slots=200_000,
+        )
+        workload = SyntheticWorkloadConfig(
+            num_requests=150, address_range_size=2048, seed=5
+        )
+        traces = generate_disjoint_workload(workload, [0, 1])
+        sim = Simulator(config, traces)
+        report = sim.run()
+        assert not report.timed_out
+        sim.system.llc.validate()
+
+    def test_pwb_drains_by_default(self):
+        config = small_config(
+            num_cores=2,
+            partitions=[shared_partition(2, ways=1)],
+            llc_sets=1,
+            llc_ways=1,
+        )
+        traces = {0: write_trace_of([0, 2]), 1: write_trace_of([1, 3])}
+        sim = Simulator(config, traces)
+        sim.run()
+        for pwb in sim.system.pwbs.values():
+            assert pwb.is_empty
+
+
+class TestCli:
+    def test_parser_builds(self):
+        parser = build_parser()
+        args = parser.parse_args(["bounds", "SS(1,16,4)"])
+        assert args.notation == "SS(1,16,4)"
+
+    def test_bounds_command(self, capsys):
+        assert main(["bounds", "SS(1,16,4)"]) == 0
+        out = capsys.readouterr().out
+        assert "5000" in out
+
+    def test_bounds_command_nss(self, capsys):
+        assert main(["bounds", "NSS(1,16,4)"]) == 0
+        assert "979250" in capsys.readouterr().out
+
+    def test_bounds_command_private(self, capsys):
+        assert main(["bounds", "P(1,16)"]) == 0
+        assert "450" in capsys.readouterr().out
+
+    def test_fig7_command_small(self, capsys):
+        assert main(["fig7", "--requests", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 7" in out
+        assert "VIOLATED" not in out
+
+    def test_fig8_command_small(self, capsys):
+        assert main(["fig8", "8a", "--requests", "120"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 8a" in out
+        assert "average SS speedup" in out
+
+    def test_unbounded_command_small(self, capsys):
+        assert main(["unbounded", "--lengths", "10", "20", "--ways", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "grows with the stream: True" in out
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            main([])

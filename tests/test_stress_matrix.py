@@ -1,0 +1,140 @@
+"""Stress matrix: policies × arbitration × sequencer, plus empirical
+validation of analysis assumptions.
+
+These runs are moderately sized so the default suite stays fast but the
+combinatorial space the analysis claims to cover actually gets walked.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.verification import assert_bounds
+from repro.bus.arbiter import ArbitrationPolicy
+from repro.sim.simulator import Simulator, simulate
+from repro.workloads.adversarial import conflict_storm_traces
+from repro.workloads.synthetic import (
+    SyntheticWorkloadConfig,
+    generate_disjoint_workload,
+)
+
+from sim_helpers import shared_partition, small_config
+
+POLICIES = ("lru", "fifo", "plru", "random", "nmru", "round-robin")
+ARBITERS = (ArbitrationPolicy.ROUND_ROBIN, ArbitrationPolicy.WRITEBACK_FIRST)
+
+
+def matrix_config(policy, arbiter, sequencer):
+    return small_config(
+        num_cores=4,
+        partitions=[shared_partition(4, ways=4, sequencer=sequencer)],
+        llc_sets=1,
+        llc_ways=4,
+        llc_policy=policy,
+        arbitration=arbiter,
+        sequencer=sequencer,
+        record_events=False,
+        max_slots=400_000,
+    )
+
+
+def storm():
+    return conflict_storm_traces(
+        cores=[0, 1, 2, 3], partition_sets=1, lines_per_core=8, repeats=8
+    )
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+@pytest.mark.parametrize("arbiter", ARBITERS)
+@pytest.mark.parametrize("sequencer", [False, True])
+def test_matrix_completes_within_bounds(policy, arbiter, sequencer):
+    config = matrix_config(policy, arbiter, sequencer)
+    sim = Simulator(config, storm())
+    report = sim.run()
+    assert not report.timed_out, (policy, arbiter, sequencer)
+    assert report.starved_cores() == []
+    assert_bounds(report, config)
+    sim.system.check_inclusivity()
+
+
+class TestAnalysisAssumptions:
+    """Empirically validate assumptions the proofs lean on."""
+
+    def test_pwb_stays_small_under_storm(self):
+        """Corollary 4.5 argues from "at most (n-1) pending write-backs
+        in c_i's PWB".  Back-invalidation write-backs are bounded by the
+        in-flight evictions targeting the core; capacity write-backs add
+        at most one per fill.  Empirically the PWB must stay within a
+        few entries of n - 1."""
+        config = matrix_config("lru", ArbitrationPolicy.ROUND_ROBIN, False)
+        report = simulate(config, storm())
+        n = 4
+        for core, occupancy in report.pwb_max_occupancy.items():
+            assert occupancy <= n, (core, occupancy)
+
+    def test_one_outstanding_request_everywhere(self):
+        """Requests per core never overlap in time."""
+        config = matrix_config("lru", ArbitrationPolicy.ROUND_ROBIN, True)
+        report = simulate(config, storm())
+        by_core = {}
+        for record in sorted(report.requests, key=lambda r: r.enqueued_at):
+            previous = by_core.get(record.core)
+            if previous is not None:
+                assert record.enqueued_at >= previous.completed_at
+            by_core[record.core] = record
+
+    def test_responses_always_within_owner_slot(self):
+        """The LLC only responds within the requester's slot."""
+        config = matrix_config("lru", ArbitrationPolicy.ROUND_ROBIN, True)
+        sim = Simulator(config, storm())
+        report = sim.run()
+        schedule = sim.system.schedule
+        for record in report.requests:
+            slot = schedule.slot_of_cycle(record.completed_at - 1)
+            assert schedule.owner_of_slot(slot) == record.core
+
+    def test_hit_classification_consistent_with_llc_stats(self):
+        config = small_config(
+            num_cores=2,
+            partitions=[shared_partition(2, sets=(0, 1, 2, 3), ways=4)],
+            llc_sets=4,
+            llc_ways=4,
+        )
+        workload = SyntheticWorkloadConfig(
+            num_requests=200, address_range_size=2048, seed=9
+        )
+        traces = generate_disjoint_workload(workload, [0, 1])
+        report = simulate(config, traces)
+        served_hits = sum(1 for r in report.requests if r.served_by_hit)
+        assert served_hits == report.llc_stats.hits
+        assert report.dram_reads == len(report.requests) - served_hits
+
+    def test_miss_latency_exceeds_hit_latency_within_slot(self):
+        config = small_config(
+            num_cores=1,
+            partitions=[shared_partition(1, ways=4)],
+            llc_sets=1,
+            llc_ways=4,
+        )
+        from sim_helpers import write_trace_of
+
+        # Miss 0, then capacity-evict nothing; touch 0 again after the
+        # L2 drops it via back-invalidation... simplest: re-request a
+        # block still VALID in LLC but gone from L2 (small L2).
+        from repro.cpu.private_stack import PrivateStackConfig
+        from repro.sim.config import SystemConfig
+
+        config = SystemConfig(
+            num_cores=1,
+            partitions=[shared_partition(1, ways=4)],
+            llc_sets=1,
+            llc_ways=4,
+            stack=PrivateStackConfig(l1_sets=0, l2_sets=1, l2_ways=1),
+        )
+        report = simulate(config, {0: write_trace_of([0, 1, 0])})
+        hits = [r for r in report.requests if r.served_by_hit]
+        misses = [r for r in report.requests if not r.served_by_hit]
+        assert hits and misses
+        assert min(m.bus_latency for m in misses) > min(
+            h.bus_latency for h in hits
+        )
