@@ -1,0 +1,48 @@
+"""Benchmark: checked-mode (per-slot invariant monitor) overhead.
+
+Checked mode re-verifies nine model invariants after every bus slot of
+the Figure 7 configuration.  It exists for debugging and CI smoke runs,
+not for production sweeps — but it must stay usable: the acceptance
+criterion is **under 3× wall clock** versus the unmonitored simulator on
+the same workload, and bit-identical results.
+"""
+
+import time
+
+from repro.experiments.fig7 import run_fig7
+
+from bench_common import emit
+
+NUM_REQUESTS = 200
+
+
+def _timed(checked):
+    started = time.perf_counter()
+    result = run_fig7(num_requests=NUM_REQUESTS, checked=checked)
+    return result, time.perf_counter() - started
+
+
+def test_checked_mode_overhead(benchmark):
+    plain, plain_seconds = _timed(checked=False)
+
+    def run_checked():
+        return _timed(checked=True)
+
+    monitored, checked_seconds = benchmark.pedantic(
+        run_checked, iterations=1, rounds=1
+    )
+    ratio = checked_seconds / plain_seconds
+    emit(
+        f"unchecked: {plain_seconds:.2f}s   checked: {checked_seconds:.2f}s"
+        f"   overhead: {ratio:.2f}x"
+    )
+
+    # Transparency: the monitor must not perturb the simulation.
+    assert monitored.all_within_bounds()
+    for plain_row, checked_row in zip(plain.rows, monitored.rows):
+        assert plain_row == checked_row
+
+    assert ratio < 3.0, (
+        f"checked mode costs {ratio:.2f}x wall clock (budget: < 3x); "
+        "an invariant's per-slot check has regressed"
+    )

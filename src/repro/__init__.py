@@ -74,12 +74,15 @@ from repro.bus.arbiter import ArbitrationPolicy
 from repro.bus.schedule import TdmSchedule, distance, one_slot_tdm
 from repro.common.errors import (
     AnalysisError,
+    CampaignError,
     ConfigurationError,
     GeometryError,
+    InvariantViolation,
     PartitionError,
     ReproError,
     ScheduleError,
     SimulationError,
+    TaskTimeoutError,
     TraceError,
 )
 from repro.common.types import AccessType, EntryState, TransactionKind
@@ -106,6 +109,24 @@ from repro.llc.partition import (
     PartitionSpec,
 )
 from repro.mem.address import AddressGeometry, AddressRange
+from repro.robustness.faults import (
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    install_fault_plan,
+)
+from repro.robustness.invariants import InvariantMonitor, standard_invariants
+from repro.robustness.runner import (
+    CampaignResult,
+    CampaignRunner,
+    RetryPolicy,
+    RobustSweepResult,
+    RunManifest,
+    TaskOutcome,
+    run_all_robust,
+    sweep_seeds_robust,
+)
 from repro.sim.config import (
     PAPER_LINE_SIZE,
     PAPER_LLC_SETS,
@@ -126,7 +147,7 @@ from repro.sim.export import (
 )
 from repro.sim.report import CoreReport, RequestRecord, SimReport
 from repro.sim.simulator import Simulator, simulate
-from repro.sim.sweeps import SweepResult, compare_configs, sweep_seeds
+from repro.sim.sweeps import SweepResult, compare_configs, run_seed, sweep_seeds
 from repro.sim.timeline import render_timeline
 from repro.workloads.adversarial import conflict_storm_traces, pingpong_traces
 from repro.workloads.phased import (
@@ -145,7 +166,7 @@ from repro.workloads.synthetic import (
 )
 from repro.workloads.trace import MemoryTrace, TraceRecord, read_trace, write_trace
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     # analysis
@@ -197,12 +218,15 @@ __all__ = [
     "one_slot_tdm",
     # errors
     "AnalysisError",
+    "CampaignError",
     "ConfigurationError",
     "GeometryError",
+    "InvariantViolation",
     "PartitionError",
     "ReproError",
     "ScheduleError",
     "SimulationError",
+    "TaskTimeoutError",
     "TraceError",
     # types
     "AccessType",
@@ -231,7 +255,24 @@ __all__ = [
     "render_timeline",
     "SweepResult",
     "compare_configs",
+    "run_seed",
     "sweep_seeds",
+    # robustness
+    "InvariantMonitor",
+    "standard_invariants",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "install_fault_plan",
+    "CampaignResult",
+    "CampaignRunner",
+    "RetryPolicy",
+    "RobustSweepResult",
+    "RunManifest",
+    "TaskOutcome",
+    "run_all_robust",
+    "sweep_seeds_robust",
     "LatencyStats",
     "core_latency_stats",
     "latency_histogram",

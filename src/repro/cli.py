@@ -20,6 +20,10 @@ Subcommands
     Run a short simulation and render the ASCII slot timeline.
 ``tightness``
     Probe how close adversarial steering gets to the bounds.
+``all``
+    Regenerate every artifact through the crash-tolerant campaign
+    runner (per-task timeouts, retry, quarantine, manifest resume);
+    exits non-zero if any artifact fails or is quarantined.
 """
 
 from __future__ import annotations
@@ -40,7 +44,10 @@ from repro.sim.config import PAPER_SLOT_WIDTH
 
 def _cmd_fig7(args: argparse.Namespace) -> int:
     result = run_fig7(
-        num_requests=args.requests, seed=args.seed, adversarial=args.adversarial
+        num_requests=args.requests,
+        seed=args.seed,
+        adversarial=args.adversarial,
+        checked=args.checked,
     )
     print(result.render())
     if not result.all_within_bounds():
@@ -118,6 +125,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.workloads.suites import get_suite
 
     config = build_system_for_notation(args.notation, num_cores=args.cores)
+    if args.checked:
+        import dataclasses
+
+        config = dataclasses.replace(config, checked=True)
     suite = get_suite(args.suite)
     traces = suite.build(
         num_cores=args.cores,
@@ -249,16 +260,24 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_all(args: argparse.Namespace) -> int:
-    from repro.experiments.runner import run_all
+    from repro.robustness.runner import RetryPolicy, run_all_robust
 
-    result = run_all(
+    result = run_all_robust(
         out_dir=args.out,
         num_requests=args.requests,
+        timeout=args.timeout,
+        retry=RetryPolicy(max_attempts=args.retries),
+        resume=args.resume,
         progress=print,
     )
     print("\n" + result.summary())
     print(f"\nartifacts written to {args.out}/")
-    return 0 if result.all_passed else 1
+    if result.quarantined:
+        names = ", ".join(outcome.name for outcome in result.quarantined)
+        print(f"ERROR: quarantined tasks: {names}", file=sys.stderr)
+    # Non-zero when any artifact failed its checks OR any task was
+    # quarantined — a green exit means the full suite reproduced.
+    return 0 if result.all_ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -278,6 +297,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="steer replacement/arbitration toward the worst case "
         "(separates NSS from SS at every range)",
+    )
+    fig7.add_argument(
+        "--checked",
+        action="store_true",
+        help="run under the per-slot invariant monitor (slower; aborts "
+        "on model-state corruption)",
     )
     fig7.set_defaults(func=_cmd_fig7)
 
@@ -319,6 +344,11 @@ def build_parser() -> argparse.ArgumentParser:
     add_workload_args(simulate_cmd)
     simulate_cmd.add_argument("--json", help="write the aggregate report here")
     simulate_cmd.add_argument("--csv", help="write per-request records here")
+    simulate_cmd.add_argument(
+        "--checked",
+        action="store_true",
+        help="run under the per-slot invariant monitor",
+    )
     simulate_cmd.set_defaults(func=_cmd_simulate)
 
     workload_cmd = sub.add_parser(
@@ -352,6 +382,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     all_cmd.add_argument("--out", default="results")
     all_cmd.add_argument("--requests", type=int, default=300)
+    all_cmd.add_argument(
+        "--resume",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="skip artifacts a previous (interrupted) run already "
+        "completed, per the manifest in --out (--no-resume starts over)",
+    )
+    all_cmd.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-artifact wall-clock budget in seconds (hung artifacts "
+        "are quarantined)",
+    )
+    all_cmd.add_argument(
+        "--retries",
+        type=int,
+        default=3,
+        help="attempts per artifact for transient (host-level) failures",
+    )
     all_cmd.set_defaults(func=_cmd_all)
 
     compare_cmd = sub.add_parser(

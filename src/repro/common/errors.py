@@ -47,6 +47,53 @@ class SimulationError(ReproError):
     """
 
 
+class InvariantViolation(SimulationError):
+    """A per-slot model invariant failed while the engine was running.
+
+    Raised by the :mod:`repro.robustness.invariants` monitor (checked
+    mode).  Unlike a bare :class:`SimulationError`, the violation names
+    the invariant and carries the slot, core and set where it tripped,
+    so a failing run points at the exact state transition that broke
+    the model the WCL theorems rely on.
+    """
+
+    def __init__(
+        self,
+        invariant: str,
+        message: str,
+        *,
+        slot: "int | None" = None,
+        core: "int | None" = None,
+        set_index: "int | None" = None,
+    ) -> None:
+        self.invariant = invariant
+        self.slot = slot
+        self.core = core
+        self.set_index = set_index
+        context = []
+        if slot is not None:
+            context.append(f"slot {slot}")
+        if core is not None:
+            context.append(f"core {core}")
+        if set_index is not None:
+            context.append(f"set {set_index}")
+        where = f" at {', '.join(context)}" if context else ""
+        super().__init__(f"invariant '{invariant}' violated{where}: {message}")
+
+
+class CampaignError(ReproError):
+    """A sweep/reproduction campaign could not be run or resumed.
+
+    Covers malformed run manifests and misconfigured campaign runners;
+    individual task failures do *not* raise this — they are quarantined
+    in the run manifest so the campaign can continue.
+    """
+
+
+class TaskTimeoutError(CampaignError):
+    """A campaign task exceeded its wall-clock budget and was aborted."""
+
+
 class TraceError(ReproError):
     """A memory trace is malformed or cannot be parsed."""
 

@@ -97,6 +97,7 @@ def run_fig7(
     num_requests: int = 400,
     seed: int = 2022,
     adversarial: bool = False,
+    checked: bool = False,
 ) -> Fig7Result:
     """Run the full Figure 7 sweep.
 
@@ -112,7 +113,15 @@ def run_fig7(
     the unsteered sweep under-exercises cross-core interference;
     steering restores the paper's "NSS higher than SS across all
     address ranges" separation per range.
+
+    With ``checked=True`` every simulation runs under the per-slot
+    invariant monitor (:mod:`repro.robustness.invariants`) — slower,
+    but any model-state corruption aborts the run with an
+    :class:`~repro.common.errors.InvariantViolation` instead of
+    polluting the figure.
     """
+    import dataclasses
+
     rows: List[Fig7Row] = []
     for notation_text in FIG7_CONFIGS:
         notation = PartitionNotation.parse(notation_text)
@@ -120,6 +129,8 @@ def run_fig7(
         config = (
             _adversarial_system(notation) if steer else fig7_system(notation.kind)
         )
+        if checked:
+            config = dataclasses.replace(config, checked=True)
         bound = analytical_wcl_cycles(
             notation,
             total_cores=config.num_cores,

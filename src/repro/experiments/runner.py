@@ -12,7 +12,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Union
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.analysis.unbounded import starvation_witness
 from repro.analysis.wcl import (
@@ -182,26 +182,52 @@ def _isolation_artifact() -> ArtifactResult:
     )
 
 
+def artifact_steps(
+    num_requests: int = 300,
+    tightness_repeats: int = 25,
+) -> List[Tuple[str, Callable[[], ArtifactResult]]]:
+    """Every reproduction artifact as a ``(name, thunk)`` pair.
+
+    The names are stable across runs — they key the crash-tolerant
+    runner's manifest (:mod:`repro.robustness.runner`), so an
+    interrupted campaign can tell which artifacts are already done.
+    Each thunk returns the :class:`ArtifactResult` whose ``name``
+    matches the pair's name.
+    """
+    steps: List[Tuple[str, Callable[[], ArtifactResult]]] = [
+        ("section-5.1-constants", _constants_artifact),
+        ("figure-7", lambda: _fig7_artifact(num_requests)),
+    ]
+    steps.extend(
+        (f"figure-{sub}", lambda sub=sub: _fig8_artifact(sub, num_requests))
+        for sub in sorted(SUBFIGURES)
+    )
+    steps.extend(
+        [
+            ("section-4.1-unbounded", _unbounded_artifact),
+            ("bound-tightness", lambda: _tightness_artifact(tightness_repeats)),
+            ("partial-sharing-isolation", _isolation_artifact),
+        ]
+    )
+    return steps
+
+
 def run_all(
     out_dir: Optional[Union[str, Path]] = None,
     num_requests: int = 300,
     tightness_repeats: int = 25,
     progress: Optional[Callable[[str], None]] = None,
 ) -> RunAllResult:
-    """Regenerate every artifact; optionally write them to ``out_dir``."""
-    steps: List[Callable[[], ArtifactResult]] = [
-        _constants_artifact,
-        lambda: _fig7_artifact(num_requests),
-        *(
-            (lambda sub=sub: _fig8_artifact(sub, num_requests))
-            for sub in sorted(SUBFIGURES)
-        ),
-        _unbounded_artifact,
-        lambda: _tightness_artifact(tightness_repeats),
-        _isolation_artifact,
-    ]
+    """Regenerate every artifact; optionally write them to ``out_dir``.
+
+    This is the straight-line runner: one failure aborts everything
+    after it.  ``repro-llc all`` uses the crash-tolerant wrapper
+    (:func:`repro.robustness.runner.run_all_robust`) which adds
+    timeouts, retries, quarantine and manifest-based resume on top of
+    the same steps.
+    """
     result = RunAllResult()
-    for step in steps:
+    for _, step in artifact_steps(num_requests, tightness_repeats):
         artifact = step()
         if progress is not None:
             progress(f"{artifact.name}: {'PASS' if artifact.passed else 'FAIL'}")

@@ -269,6 +269,14 @@ class PartitionedLlc:
         """The ``PENDING_EVICT`` entry holding ``block``, if any."""
         return self._pending_index.get(block)
 
+    def valid_entry(self, block: BlockAddress) -> Optional[LlcEntry]:
+        """The ``VALID`` entry holding ``block``, if any (no stats)."""
+        return self._valid_index.get(block)
+
+    def pending_entries(self) -> List[LlcEntry]:
+        """All ``PENDING_EVICT`` entries (invariant monitors iterate these)."""
+        return list(self._pending_index.values())
+
     def block_is_pending(self, block: BlockAddress) -> bool:
         """Whether ``block`` itself sits in a ``PENDING_EVICT`` entry.
 
@@ -472,13 +480,36 @@ class PartitionedLlc:
         """All ``VALID`` blocks."""
         return list(self._valid_index)
 
-    def validate(self) -> None:
+    def validate(self, sets: Optional[Iterable[int]] = None) -> None:
         """Check internal invariants; raises :class:`SimulationError`.
 
         Verified properties: index consistency, exclusive state per
         entry, and that ``PENDING_EVICT`` entries await at least one
         writer.
+
+        ``sets`` restricts the entry scan to the given set rows (the
+        per-slot checked-mode monitor passes the partition-covered sets
+        — the only rows that can ever hold a line — to avoid sweeping
+        the whole geometry every slot).  The restricted form swaps the
+        full-scan entry counts for reverse checks over both indexes, so
+        its coverage matches the full scan whenever every resident line
+        lives in ``sets``.
         """
+        if sets is not None:
+            for set_index in sets:
+                for entry in self._entries[set_index]:
+                    self._validate_entry(entry)
+            for block, entry in self._valid_index.items():
+                if not entry.is_valid or entry.block != block:
+                    raise SimulationError(
+                        f"valid index out of sync for block {block:#x}"
+                    )
+            for block, entry in self._pending_index.items():
+                if not entry.is_pending or entry.block != block:
+                    raise SimulationError(
+                        f"pending index out of sync for block {block:#x}"
+                    )
+            return
         valid_seen = 0
         pending_seen = 0
         for row in self._entries:
@@ -511,3 +542,27 @@ class PartitionedLlc:
             raise SimulationError("valid index size mismatch")
         if pending_seen != len(self._pending_index):
             raise SimulationError("pending index size mismatch")
+
+    def _validate_entry(self, entry: LlcEntry) -> None:
+        if entry.is_valid:
+            if entry.block is None:
+                raise SimulationError("VALID entry without a block")
+            if self._valid_index.get(entry.block) is not entry:
+                raise SimulationError(
+                    f"valid index out of sync for block {entry.block:#x}"
+                )
+        elif entry.is_pending:
+            if entry.block is None:
+                raise SimulationError("PENDING_EVICT entry without a block")
+            if not entry.pending_writers:
+                raise SimulationError(
+                    f"PENDING_EVICT entry for block {entry.block:#x} "
+                    "awaits no writer"
+                )
+            if self._pending_index.get(entry.block) is not entry:
+                raise SimulationError(
+                    f"pending index out of sync for block {entry.block:#x}"
+                )
+        else:
+            if entry.block is not None or entry.pending_writers:
+                raise SimulationError("FREE entry with residual state")

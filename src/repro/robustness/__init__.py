@@ -1,0 +1,77 @@
+"""Robustness layer: invariant monitoring, fault injection, crash tolerance.
+
+Three pieces, one goal — trust the numbers the simulator reports:
+
+* :mod:`repro.robustness.invariants` — a per-slot runtime monitor that
+  checks model invariants (inclusivity, TDM slot accounting, sequencer
+  FIFO discipline, analytical latency bounds, …) while a simulation
+  runs; enabled with ``SystemConfig(checked=True)``.
+* :mod:`repro.robustness.faults` — deterministic fault injection that
+  *proves* the monitor fires: every fault class maps to an invariant
+  that catches it.
+* :mod:`repro.robustness.runner` — a crash-tolerant campaign runner
+  (timeouts, bounded retry, quarantine, manifest-based resume) wrapping
+  the experiment suite and seed sweeps.
+"""
+
+from repro.robustness.faults import (
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    install_fault_plan,
+)
+from repro.robustness.invariants import (
+    InclusivityInvariant,
+    Invariant,
+    InvariantMonitor,
+    LatencyBoundInvariant,
+    LlcConsistencyInvariant,
+    OneOutstandingRequestInvariant,
+    PartitionRoutingInvariant,
+    PendingEvictAccountingInvariant,
+    SequencerConsistencyInvariant,
+    SlotAccountingInvariant,
+    SlotSequenceInvariant,
+    standard_invariants,
+)
+from repro.robustness.runner import (
+    CampaignResult,
+    CampaignRunner,
+    RetryPolicy,
+    RobustSweepResult,
+    RunManifest,
+    TaskOutcome,
+    run_all_robust,
+    sweep_seeds_robust,
+)
+
+__all__ = [
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "install_fault_plan",
+    "InclusivityInvariant",
+    "Invariant",
+    "InvariantMonitor",
+    "LatencyBoundInvariant",
+    "LlcConsistencyInvariant",
+    "OneOutstandingRequestInvariant",
+    "PartitionRoutingInvariant",
+    "PendingEvictAccountingInvariant",
+    "SequencerConsistencyInvariant",
+    "SlotAccountingInvariant",
+    "SlotSequenceInvariant",
+    "standard_invariants",
+    "CampaignResult",
+    "CampaignRunner",
+    "RetryPolicy",
+    "RobustSweepResult",
+    "RunManifest",
+    "TaskOutcome",
+    "run_all_robust",
+    "sweep_seeds_robust",
+]

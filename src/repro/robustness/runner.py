@@ -1,0 +1,607 @@
+"""Crash-tolerant campaign runner: timeouts, retries, quarantine, resume.
+
+A long reproduction campaign (``repro-llc all``, a many-seed sweep) must
+not be torpedoed by one bad configuration or one hung simulation.  This
+module wraps any sequence of named tasks with:
+
+* a **per-task wall-clock timeout** (SIGALRM-based; a hung task raises
+  :class:`~repro.common.errors.TaskTimeoutError` and is quarantined —
+  a hung simulation will hang again, so timeouts are not retried);
+* **bounded retry with exponential backoff** for *transient* failures
+  (host-level errors such as :class:`OSError`; model errors —
+  :class:`~repro.common.errors.ReproError` — are deterministic and fail
+  straight to quarantine);
+* **failure quarantine**: a failed task is recorded as a structured
+  manifest entry and the campaign continues;
+* **checkpoint/resume** through a JSON :class:`RunManifest` written
+  atomically after every task, so a killed campaign picks up where it
+  left off (``repro-llc all --resume``) and completed tasks are never
+  re-run.
+
+Two ready-made campaigns: :func:`run_all_robust` (the full artifact
+reproduction of :mod:`repro.experiments.runner`) and
+:func:`sweep_seeds_robust` (per-seed tasks around
+:func:`repro.sim.sweeps.run_seed`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.common.errors import (
+    CampaignError,
+    ConfigurationError,
+    ReproError,
+    TaskTimeoutError,
+)
+from repro.common.validation import require
+from repro.sim.config import SystemConfig
+from repro.sim.report import SimReport
+from repro.sim.sweeps import SweepResult, TraceFactory, run_seed
+
+#: A campaign task: a stable name plus a nullary callable producing the
+#: task's result.
+Task = Tuple[str, Callable[[], Any]]
+
+#: Manifest schema version (bumped on incompatible layout changes).
+MANIFEST_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Retry policy
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff for transient failures."""
+
+    #: Total attempts per task (1 = no retry).
+    max_attempts: int = 3
+    #: Seconds slept before the first retry.
+    backoff_base: float = 0.25
+    #: Multiplier applied per further retry.
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        require(
+            self.max_attempts >= 1,
+            f"max_attempts must be >= 1, got {self.max_attempts}",
+            ConfigurationError,
+        )
+        require(
+            self.backoff_base >= 0,
+            f"backoff_base must be >= 0, got {self.backoff_base}",
+            ConfigurationError,
+        )
+        require(
+            self.backoff_factor >= 1,
+            f"backoff_factor must be >= 1, got {self.backoff_factor}",
+            ConfigurationError,
+        )
+
+    def delay(self, attempt: int) -> float:
+        """Seconds to back off after failed attempt number ``attempt``."""
+        return self.backoff_base * self.backoff_factor ** (attempt - 1)
+
+
+# ----------------------------------------------------------------------
+# Run manifest (checkpoint/resume)
+# ----------------------------------------------------------------------
+class RunManifest:
+    """The on-disk checkpoint of a campaign: one JSON entry per task.
+
+    Entries record status (``"done"`` or ``"quarantined"``), attempt
+    count, elapsed seconds, the error (for quarantined tasks) and a
+    JSON-serialisable payload summarising the result (for ``run_all``
+    artifacts: their reproduction checks).  The file is rewritten
+    atomically (temp file + rename) after every task, so a kill at any
+    point leaves a loadable manifest.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.tasks: Dict[str, Dict[str, Any]] = {}
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "RunManifest":
+        """Load an existing manifest; empty when the file is missing."""
+        manifest = cls(path)
+        if not manifest.path.exists():
+            return manifest
+        try:
+            data = json.loads(manifest.path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CampaignError(
+                f"run manifest {manifest.path} is unreadable: {exc}"
+            ) from exc
+        if not isinstance(data, dict) or "tasks" not in data:
+            raise CampaignError(
+                f"run manifest {manifest.path} is malformed (no tasks object)"
+            )
+        version = data.get("version")
+        if version != MANIFEST_VERSION:
+            raise CampaignError(
+                f"run manifest {manifest.path} has version {version!r}; "
+                f"this runner writes version {MANIFEST_VERSION} "
+                "(delete the manifest to start a fresh campaign)"
+            )
+        manifest.tasks = dict(data["tasks"])
+        return manifest
+
+    def is_done(self, name: str) -> bool:
+        """Whether ``name`` completed successfully in a previous run."""
+        entry = self.tasks.get(name)
+        return entry is not None and entry.get("status") == "done"
+
+    def entry(self, name: str) -> Optional[Dict[str, Any]]:
+        """The recorded entry of one task, if any."""
+        return self.tasks.get(name)
+
+    def record(self, name: str, entry: Dict[str, Any]) -> None:
+        """Record (and checkpoint) one task's outcome."""
+        self.tasks[name] = entry
+        self.save()
+
+    def save(self) -> None:
+        """Atomically rewrite the manifest file."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(
+            {"version": MANIFEST_VERSION, "tasks": self.tasks}, indent=2
+        )
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        tmp.write_text(payload + "\n")
+        os.replace(tmp, self.path)
+
+    def results(self) -> Dict[str, Dict[str, Any]]:
+        """Status and payload per task — the comparable campaign outcome.
+
+        Timing and attempt counts are excluded: a resumed campaign must
+        produce the *same* results as an uninterrupted one, and those
+        fields legitimately differ between the two.
+        """
+        return {
+            name: {
+                "status": entry.get("status"),
+                "payload": entry.get("payload"),
+            }
+            for name, entry in self.tasks.items()
+        }
+
+
+# ----------------------------------------------------------------------
+# Task outcomes
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TaskOutcome:
+    """What happened to one task in this process (not a resumed skip)."""
+
+    name: str
+    #: ``"done"``, ``"quarantined"`` or ``"skipped"`` (already done in a
+    #: previous run of a resumed campaign).
+    status: str
+    attempts: int
+    elapsed_seconds: float
+    #: For quarantined tasks: the exception's class name and message.
+    error_type: Optional[str] = None
+    error: Optional[str] = None
+    #: The task's return value (``None`` for quarantined/skipped tasks);
+    #: not persisted to the manifest.
+    result: Any = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the task is in a successful state."""
+        return self.status in ("done", "skipped")
+
+
+@dataclass
+class CampaignResult:
+    """Everything one :meth:`CampaignRunner.run` call produced."""
+
+    outcomes: List[TaskOutcome] = field(default_factory=list)
+    manifest: Optional[RunManifest] = None
+
+    @property
+    def quarantined(self) -> List[TaskOutcome]:
+        """Tasks that failed permanently this run."""
+        return [o for o in self.outcomes if o.status == "quarantined"]
+
+    @property
+    def skipped(self) -> List[TaskOutcome]:
+        """Tasks skipped because a previous run already completed them."""
+        return [o for o in self.outcomes if o.status == "skipped"]
+
+    @property
+    def all_ok(self) -> bool:
+        """No quarantine this run, and no failed payload in the manifest."""
+        if self.quarantined:
+            return False
+        if self.manifest is not None:
+            for entry in self.manifest.tasks.values():
+                if entry.get("status") != "done":
+                    return False
+                payload = entry.get("payload")
+                if isinstance(payload, dict) and payload.get("passed") is False:
+                    return False
+        return True
+
+    def summary(self) -> str:
+        """One line per task of this run."""
+        labels = {"done": "PASS", "skipped": "SKIP", "quarantined": "QUARANTINED"}
+        lines = []
+        for outcome in self.outcomes:
+            label = labels.get(outcome.status, outcome.status.upper())
+            suffix = f"  ({outcome.error})" if outcome.error else ""
+            lines.append(f"{label:11} {outcome.name}{suffix}")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# The runner
+# ----------------------------------------------------------------------
+def _default_payload(result: Any) -> Optional[Dict[str, Any]]:
+    """Summarise a task result for the manifest (JSON-serialisable).
+
+    ``run_all`` artifacts expose ``checks``/``passed``; anything else is
+    summarised as its repr so the manifest stays loadable.
+    """
+    checks = getattr(result, "checks", None)
+    passed = getattr(result, "passed", None)
+    if isinstance(checks, dict) and isinstance(passed, bool):
+        return {"passed": passed, "checks": dict(checks)}
+    if result is None:
+        return None
+    try:
+        json.dumps(result)
+        return {"value": result}
+    except (TypeError, ValueError):
+        return {"repr": repr(result)[:200]}
+
+
+class CampaignRunner:
+    """Runs named tasks with timeout, retry, quarantine and resume.
+
+    Parameters
+    ----------
+    manifest_path:
+        Where the JSON checkpoint lives.  ``None`` disables
+        checkpointing (every run starts fresh, nothing is written).
+    timeout:
+        Per-task wall-clock budget in seconds; ``None`` disables it.
+        Enforcement uses ``SIGALRM`` and therefore only engages on the
+        main thread of a Unix process — elsewhere tasks run untimed.
+    retry:
+        The transient-failure :class:`RetryPolicy`.
+    transient_types:
+        Exception classes considered transient (retried with backoff).
+        Defaults to :class:`OSError` — host-level flakiness.  Model
+        errors (:class:`ReproError`) are deterministic and never retried.
+    sleep / clock:
+        Injection points for tests (backoff sleeping, elapsed timing).
+    """
+
+    def __init__(
+        self,
+        manifest_path: Optional[Union[str, Path]] = None,
+        timeout: Optional[float] = None,
+        retry: RetryPolicy = RetryPolicy(),
+        transient_types: Tuple[type, ...] = (OSError,),
+        payload_of: Callable[[Any], Optional[Dict[str, Any]]] = _default_payload,
+        sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if timeout is not None:
+            require(
+                timeout > 0,
+                f"timeout must be positive, got {timeout}",
+                ConfigurationError,
+            )
+        self.manifest_path = Path(manifest_path) if manifest_path else None
+        self.timeout = timeout
+        self.retry = retry
+        self.transient_types = transient_types
+        self.payload_of = payload_of
+        self.sleep = sleep
+        self.clock = clock
+
+    # -- timeout enforcement -------------------------------------------
+    @staticmethod
+    def _can_use_alarm() -> bool:
+        return (
+            hasattr(signal, "SIGALRM")
+            and threading.current_thread() is threading.main_thread()
+        )
+
+    def _call_with_timeout(self, name: str, thunk: Callable[[], Any]) -> Any:
+        if self.timeout is None or not self._can_use_alarm():
+            return thunk()
+
+        def _on_alarm(signum, frame):  # pragma: no cover - trivial
+            raise TaskTimeoutError(
+                f"task {name!r} exceeded its wall-clock budget of "
+                f"{self.timeout}s and was aborted"
+            )
+
+        previous = signal.signal(signal.SIGALRM, _on_alarm)
+        signal.setitimer(signal.ITIMER_REAL, self.timeout)
+        try:
+            return thunk()
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous)
+
+    # -- main entry point ----------------------------------------------
+    def run(
+        self,
+        tasks: Sequence[Task],
+        resume: bool = True,
+        progress: Optional[Callable[[str], None]] = None,
+    ) -> CampaignResult:
+        """Run ``tasks`` in order; quarantine failures, checkpoint each.
+
+        With ``resume=True`` (the default) tasks already marked done in
+        the manifest are skipped, so re-invoking an interrupted campaign
+        completes only the remaining work.  A ``KeyboardInterrupt``
+        checkpoints the manifest before propagating — the canonical
+        "killed mid-campaign" path.
+        """
+        names = [name for name, _ in tasks]
+        require(
+            len(names) == len(set(names)),
+            f"campaign task names must be unique, got {names}",
+            ConfigurationError,
+        )
+        if self.manifest_path is not None and resume:
+            manifest = RunManifest.load(self.manifest_path)
+        elif self.manifest_path is not None:
+            manifest = RunManifest(self.manifest_path)
+        else:
+            manifest = RunManifest(Path(os.devnull))
+            manifest.save = lambda: None  # type: ignore[method-assign]
+        result = CampaignResult(manifest=manifest)
+        for name, thunk in tasks:
+            if resume and manifest.is_done(name):
+                outcome = TaskOutcome(
+                    name=name, status="skipped", attempts=0, elapsed_seconds=0.0
+                )
+                result.outcomes.append(outcome)
+                if progress is not None:
+                    progress(f"{name}: already done (resumed)")
+                continue
+            outcome = self._run_task(name, thunk, manifest)
+            result.outcomes.append(outcome)
+            if progress is not None:
+                tag = "PASS" if outcome.status == "done" else "QUARANTINED"
+                progress(f"{name}: {tag}")
+        return result
+
+    def _run_task(
+        self, name: str, thunk: Callable[[], Any], manifest: RunManifest
+    ) -> TaskOutcome:
+        started = self.clock()
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                task_result = self._call_with_timeout(name, thunk)
+            except KeyboardInterrupt:
+                # Killed mid-task: checkpoint what we have, then let the
+                # interrupt unwind — the next run resumes from here.
+                manifest.save()
+                raise
+            except TaskTimeoutError as exc:
+                # A hung task will hang again — straight to quarantine.
+                return self._quarantine(name, manifest, attempt, started, exc)
+            except self.transient_types as exc:
+                if isinstance(exc, ReproError) or attempt >= self.retry.max_attempts:
+                    return self._quarantine(name, manifest, attempt, started, exc)
+                self.sleep(self.retry.delay(attempt))
+                continue
+            except Exception as exc:
+                return self._quarantine(name, manifest, attempt, started, exc)
+            elapsed = self.clock() - started
+            entry = {
+                "status": "done",
+                "attempts": attempt,
+                "elapsed_seconds": round(elapsed, 3),
+                "error": None,
+                "error_type": None,
+                "payload": self.payload_of(task_result),
+            }
+            manifest.record(name, entry)
+            return TaskOutcome(
+                name=name,
+                status="done",
+                attempts=attempt,
+                elapsed_seconds=elapsed,
+                result=task_result,
+            )
+
+    def _quarantine(
+        self,
+        name: str,
+        manifest: RunManifest,
+        attempts: int,
+        started: float,
+        exc: BaseException,
+    ) -> TaskOutcome:
+        elapsed = self.clock() - started
+        entry = {
+            "status": "quarantined",
+            "attempts": attempts,
+            "elapsed_seconds": round(elapsed, 3),
+            "error": str(exc),
+            "error_type": type(exc).__name__,
+            "payload": None,
+        }
+        manifest.record(name, entry)
+        return TaskOutcome(
+            name=name,
+            status="quarantined",
+            attempts=attempts,
+            elapsed_seconds=elapsed,
+            error_type=type(exc).__name__,
+            error=str(exc),
+        )
+
+
+# ----------------------------------------------------------------------
+# Ready-made campaigns
+# ----------------------------------------------------------------------
+def run_all_robust(
+    out_dir: Optional[Union[str, Path]] = None,
+    num_requests: int = 300,
+    tightness_repeats: int = 25,
+    manifest_path: Optional[Union[str, Path]] = None,
+    timeout: Optional[float] = None,
+    retry: RetryPolicy = RetryPolicy(),
+    resume: bool = True,
+    progress: Optional[Callable[[str], None]] = None,
+) -> CampaignResult:
+    """Crash-tolerant ``run_all``: every artifact as a quarantinable task.
+
+    Artifact tables and the summary files land in ``out_dir`` exactly as
+    with :func:`repro.experiments.runner.run_all`; additionally a
+    ``manifest.json`` (or ``manifest_path``) checkpoints progress after
+    every artifact so an interrupted ``repro-llc all`` resumes instead
+    of restarting.  The summary files are rebuilt from the manifest, so
+    a resumed campaign reports previously-completed artifacts too.
+    """
+    from repro.experiments.runner import artifact_steps
+
+    target = Path(out_dir) if out_dir is not None else None
+    if target is not None:
+        target.mkdir(parents=True, exist_ok=True)
+    if manifest_path is None and target is not None:
+        manifest_path = target / "manifest.json"
+
+    def wrap(step: Callable[[], Any]) -> Callable[[], Any]:
+        def task():
+            artifact = step()
+            if target is not None:
+                (target / f"{artifact.name}.txt").write_text(
+                    artifact.table + "\n"
+                )
+            return artifact
+
+        return task
+
+    tasks: List[Task] = [
+        (name, wrap(step))
+        for name, step in artifact_steps(num_requests, tightness_repeats)
+    ]
+    runner = CampaignRunner(
+        manifest_path=manifest_path, timeout=timeout, retry=retry
+    )
+    result = runner.run(tasks, resume=resume, progress=progress)
+
+    if target is not None and result.manifest is not None:
+        summary = {
+            name: (
+                entry["payload"]["checks"]
+                if entry.get("status") == "done"
+                and isinstance(entry.get("payload"), dict)
+                and "checks" in entry["payload"]
+                else {"quarantined": entry.get("error")}
+            )
+            for name, entry in result.manifest.tasks.items()
+        }
+        (target / "summary.json").write_text(json.dumps(summary, indent=2) + "\n")
+        lines = []
+        for name, entry in result.manifest.tasks.items():
+            if entry.get("status") != "done":
+                lines.append(f"QUARANTINED  {name}")
+                continue
+            payload = entry.get("payload") or {}
+            lines.append(
+                f"{'PASS' if payload.get('passed') else 'FAIL'}  {name}"
+            )
+        (target / "SUMMARY.txt").write_text("\n".join(lines) + "\n")
+    return result
+
+
+@dataclass
+class RobustSweepResult:
+    """A seed sweep that tolerates per-seed failures.
+
+    ``result`` aggregates the seeds that completed (``None`` when every
+    seed failed); ``quarantined_seeds`` names the rest, with the error
+    recorded per seed in ``campaign``'s manifest/outcomes.
+    """
+
+    result: Optional[SweepResult]
+    completed_seeds: Tuple[int, ...]
+    quarantined_seeds: Tuple[int, ...]
+    campaign: CampaignResult
+
+    @property
+    def complete(self) -> bool:
+        """Whether every seed of the sweep completed."""
+        return not self.quarantined_seeds
+
+
+def sweep_seeds_robust(
+    config: SystemConfig,
+    trace_factory: TraceFactory,
+    seeds: Sequence[int],
+    check: Optional[Callable[[SimReport], None]] = None,
+    runner: Optional[CampaignRunner] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> RobustSweepResult:
+    """Crash-tolerant :func:`repro.sim.sweeps.sweep_seeds`.
+
+    Each seed runs as one campaign task (timeout/retry/quarantine apply
+    per seed); failed seeds are quarantined and the sweep aggregates
+    over the survivors instead of dying.
+    """
+    require(bool(seeds), "sweep needs at least one seed", ConfigurationError)
+    runner = runner or CampaignRunner()
+    tasks: List[Task] = [
+        (
+            f"seed-{seed}",
+            lambda seed=seed: run_seed(config, trace_factory, seed, check),
+        )
+        for seed in seeds
+    ]
+    campaign = runner.run(tasks, progress=progress)
+    completed: List[int] = []
+    observed: List[int] = []
+    makespans: List[int] = []
+    quarantined: List[int] = []
+    for seed, outcome in zip(seeds, campaign.outcomes):
+        if outcome.status == "done" and outcome.result is not None:
+            completed.append(seed)
+            observed.append(outcome.result.observed_wcl())
+            makespans.append(outcome.result.makespan)
+        else:
+            quarantined.append(seed)
+    result = (
+        SweepResult(
+            seeds=tuple(completed),
+            observed_wcls=tuple(observed),
+            makespans=tuple(makespans),
+        )
+        if completed
+        else None
+    )
+    return RobustSweepResult(
+        result=result,
+        completed_seeds=tuple(completed),
+        quarantined_seeds=tuple(quarantined),
+        campaign=campaign,
+    )

@@ -72,6 +72,16 @@ class SystemConfig:
     max_slots: int = 2_000_000
     record_events: bool = False
     drain_writebacks: bool = True
+    #: Checked mode: install the per-slot invariant monitor
+    #: (:mod:`repro.robustness.invariants`) on the engine, so model
+    #: invariants — inclusivity, one outstanding request per core,
+    #: PENDING_EVICT accounting, sequencer FIFO consistency, observed
+    #: latency within the analytical WCL — are verified after *every*
+    #: slot instead of only once after the run.  Off by default: the
+    #: per-slot checks cost wall clock (see
+    #: ``benchmarks/test_bench_checked_overhead.py``), and the post-run
+    #: inclusivity check still always runs.
+    checked: bool = False
     #: Whether a dirty victim owned by the *requesting* core is written
     #: back within the same slot (the requester already holds the bus,
     #: so the victim data can ride along with its request).  True makes

@@ -32,7 +32,7 @@ here:
 
 from __future__ import annotations
 
-from typing import List
+from typing import Callable, List
 
 from repro.bus.buffers import (
     PendingRequest,
@@ -45,6 +45,16 @@ from repro.llc.llc import VictimInfo, WritebackOutcome
 from repro.sim.events import EventKind, EventLog, SimEvent
 from repro.sim.report import SimReport, build_report
 from repro.sim.system import System
+
+
+#: Runs before a slot is processed: ``hook(engine, slot)``.  A hook may
+#: mutate engine or system state (fault injection does exactly that).
+PreSlotHook = Callable[["SlotEngine", SlotIndex], None]
+
+#: Runs after a slot's transaction landed, before the slot counter
+#: advances: ``hook(engine, slot, slot_start)``.  Invariant monitors
+#: attach here so a violation is pinned to the slot that caused it.
+PostSlotHook = Callable[["SlotEngine", SlotIndex, Cycle], None]
 
 
 class SlotEngine:
@@ -68,6 +78,18 @@ class SlotEngine:
             core: {"idle": 0, "request": 0, "writeback": 0}
             for core in system.cores
         }
+        # Hooks are empty in the default configuration; the run loop
+        # skips both lists entirely so benchmarks pay nothing for them.
+        self._pre_slot_hooks: List[PreSlotHook] = []
+        self._post_slot_hooks: List[PostSlotHook] = []
+
+    def add_pre_slot_hook(self, hook: PreSlotHook) -> None:
+        """Run ``hook(engine, slot)`` before each slot is processed."""
+        self._pre_slot_hooks.append(hook)
+
+    def add_post_slot_hook(self, hook: PostSlotHook) -> None:
+        """Run ``hook(engine, slot, slot_start)`` after each slot."""
+        self._post_slot_hooks.append(hook)
 
     # ------------------------------------------------------------------
     # Top level
@@ -79,6 +101,14 @@ class SlotEngine:
             if self._slot >= self.config.max_slots:
                 timed_out = True
                 break
+            if self._pre_slot_hooks:
+                # A pre-slot hook may mutate the slot counter (the
+                # dropped-slot fault does); re-check the cap afterwards.
+                for hook in self._pre_slot_hooks:
+                    hook(self, self._slot)
+                if self._slot >= self.config.max_slots:
+                    timed_out = True
+                    break
             slot_start = self.schedule.slot_start(self._slot)
             # Advance through slot_start inclusive: a miss occurring
             # exactly at the boundary is in the PRB "at the beginning of
@@ -87,6 +117,9 @@ class SlotEngine:
                 self._advance_core(core_id, slot_start + 1)
             owner = self.schedule.owner_of_slot(self._slot)
             self._do_slot(owner, slot_start)
+            if self._post_slot_hooks:
+                for hook in self._post_slot_hooks:
+                    hook(self, self._slot, slot_start)
             self._slot += 1
         return build_report(
             system=self.system,

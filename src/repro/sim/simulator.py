@@ -37,6 +37,12 @@ class Simulator:
         self.config = config
         self.system = System(config, traces, start_cycles)
         self.engine = SlotEngine(self.system)
+        self.monitor = None
+        if config.checked:
+            # Imported lazily: repro.robustness imports the sim layer.
+            from repro.robustness.invariants import InvariantMonitor
+
+            self.monitor = InvariantMonitor.install_checked(self.engine)
 
     def run(self) -> SimReport:
         """Run to completion (or the slot cap) and return the report."""

@@ -48,27 +48,40 @@ class SweepResult:
         return max(self.observed_wcls) - min(self.observed_wcls)
 
 
+def run_seed(
+    config: SystemConfig,
+    trace_factory: TraceFactory,
+    seed: int,
+    check: Optional[Callable[[SimReport], None]] = None,
+) -> SimReport:
+    """Run one seed of a sweep; the unit of work sweep runners schedule.
+
+    ``check`` (e.g. a bound assertion) runs on the report before it is
+    returned; its exception propagates with the offending seed attached.
+    The crash-tolerant sweep (:func:`repro.robustness.runner.sweep_seeds_robust`)
+    wraps exactly this function per task.
+    """
+    report = simulate(config, trace_factory(seed))
+    if check is not None:
+        try:
+            check(report)
+        except AssertionError as exc:
+            raise AssertionError(f"seed {seed}: {exc}") from exc
+    return report
+
+
 def sweep_seeds(
     config: SystemConfig,
     trace_factory: TraceFactory,
     seeds: Sequence[int],
     check: Optional[Callable[[SimReport], None]] = None,
 ) -> SweepResult:
-    """Run ``config`` once per seed; optionally verify each report.
-
-    ``check`` runs on every report (e.g. assert a bound); its exception
-    propagates with the offending seed attached.
-    """
+    """Run ``config`` once per seed; optionally verify each report."""
     require(bool(seeds), "sweep needs at least one seed", ConfigurationError)
     observed: List[Cycle] = []
     makespans: List[Cycle] = []
     for seed in seeds:
-        report = simulate(config, trace_factory(seed))
-        if check is not None:
-            try:
-                check(report)
-            except AssertionError as exc:
-                raise AssertionError(f"seed {seed}: {exc}") from exc
+        report = run_seed(config, trace_factory, seed, check)
         observed.append(report.observed_wcl())
         makespans.append(report.makespan)
     return SweepResult(

@@ -4,12 +4,15 @@ import pytest
 
 from repro.common.errors import (
     AnalysisError,
+    CampaignError,
     ConfigurationError,
     GeometryError,
+    InvariantViolation,
     PartitionError,
     ReproError,
     ScheduleError,
     SimulationError,
+    TaskTimeoutError,
     TraceError,
 )
 from repro.experiments.fig7 import run_fig7
@@ -24,8 +27,11 @@ class TestErrorHierarchy:
             ScheduleError,
             PartitionError,
             SimulationError,
+            InvariantViolation,
             TraceError,
             AnalysisError,
+            CampaignError,
+            TaskTimeoutError,
         ],
     )
     def test_everything_derives_from_repro_error(self, error):
@@ -47,6 +53,25 @@ class TestErrorHierarchy:
 
         with pytest.raises(ReproError):
             PartitionNotation.parse("garbage")
+
+    def test_invariant_violation_is_a_simulation_error(self):
+        # Checked mode reports model corruption through the same
+        # channel the engine's own guards use.
+        assert issubclass(InvariantViolation, SimulationError)
+
+    def test_task_timeout_is_a_campaign_error(self):
+        assert issubclass(TaskTimeoutError, CampaignError)
+        assert not issubclass(CampaignError, SimulationError)
+
+    def test_invariant_violation_carries_context(self):
+        violation = InvariantViolation(
+            "inclusivity", "stale copy", slot=12, core=2, set_index=0
+        )
+        assert violation.invariant == "inclusivity"
+        assert violation.slot == 12
+        assert violation.core == 2
+        assert violation.set_index == 0
+        assert "slot 12" in str(violation)
 
 
 class TestFig7Adversarial:

@@ -1,0 +1,145 @@
+"""Fault injection: every fault class must trip the invariant monitor.
+
+The acceptance bar for checked mode — no fault passes silently.  Each
+:class:`FaultKind` is injected into a checked simulation and the run
+must abort with an :class:`InvariantViolation` whose ``invariant`` is
+the one documented to catch that fault class.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.common.errors import (
+    ConfigurationError,
+    InvariantViolation,
+    SimulationError,
+)
+from repro.robustness.faults import (
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    install_fault_plan,
+)
+from repro.sim.simulator import Simulator
+from sim_helpers import private_partitions, small_config, write_trace_of
+
+TRACES = {
+    0: write_trace_of([0, 1, 2, 3, 0, 1, 2, 3]),
+    1: write_trace_of([8, 9, 10, 11, 8, 9, 10, 11]),
+}
+
+
+def checked_sim(config=None, traces=None):
+    config = config or small_config(num_cores=2)
+    return Simulator(
+        dataclasses.replace(config, checked=True), traces or TRACES
+    )
+
+
+def run_faulted(kind, slot, config=None, traces=None, **kw):
+    """Inject one fault into a checked run; return the violation raised."""
+    sim = checked_sim(config, traces)
+    injector = install_fault_plan(sim.engine, FaultPlan.single(kind, slot, **kw))
+    with pytest.raises(InvariantViolation) as excinfo:
+        sim.run()
+    assert not injector.unfired(), "fault never delivered"
+    assert injector.injected[0].spec.kind is kind
+    return excinfo.value
+
+
+class TestEveryFaultIsCaught:
+    def test_dropped_slot_trips_slot_sequence(self):
+        violation = run_faulted(FaultKind.DROPPED_SLOT, 3)
+        assert violation.invariant == "slot-sequence"
+        assert violation.slot == 4
+        assert "dropped" in str(violation)
+
+    def test_duplicated_slot_trips_slot_accounting(self):
+        violation = run_faulted(FaultKind.DUPLICATED_SLOT, 3)
+        assert violation.invariant == "slot-accounting"
+        assert violation.slot == 3
+        assert violation.core is not None
+
+    def test_spurious_eviction_trips_inclusivity(self):
+        violation = run_faulted(FaultKind.SPURIOUS_EVICTION, 6)
+        assert violation.invariant == "inclusivity"
+        assert violation.core is not None
+        assert violation.set_index is not None
+
+    def test_corrupted_line_state_trips_llc_consistency(self):
+        violation = run_faulted(FaultKind.CORRUPTED_LINE_STATE, 6)
+        assert violation.invariant == "llc-consistency"
+        assert violation.slot == 6
+
+    def test_trace_mutation_trips_partition_routing(self):
+        config = small_config(num_cores=2, partitions=private_partitions(2))
+        traces = {
+            0: write_trace_of([0, 1, 2, 3, 0, 1, 2, 3]),
+            1: write_trace_of([40, 41, 40, 41, 40, 41]),
+        }
+        # Slot 5 belongs to core 1, so the monitor inspects core 0's
+        # mutated request before core 0's own slot would serve it.
+        violation = run_faulted(
+            FaultKind.TRACE_MUTATION, 5, config=config, traces=traces,
+            core=0, block=40,
+        )
+        assert violation.invariant == "partition-routing"
+        assert violation.core == 0
+
+    def test_no_fault_no_violation(self):
+        sim = checked_sim()
+        report = sim.run()
+        assert not report.timed_out
+        assert sim.monitor.first_violation is None
+
+
+class TestFaultPlumbing:
+    def test_spec_rejects_negative_slot(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(kind=FaultKind.DROPPED_SLOT, slot=-1)
+
+    def test_trace_mutation_requires_core_and_block(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(kind=FaultKind.TRACE_MUTATION, slot=3, core=0)
+
+    def test_describe_names_kind_slot_and_target(self):
+        spec = FaultSpec(
+            kind=FaultKind.TRACE_MUTATION, slot=7, core=1, block=0x40
+        )
+        text = spec.describe()
+        assert "trace-mutation@slot7" in text
+        assert "core=1" in text
+        assert "block=0x40" in text
+
+    def test_unfired_fault_is_reported(self):
+        sim = checked_sim()
+        injector = install_fault_plan(
+            sim.engine, FaultPlan.single(FaultKind.DROPPED_SLOT, 10_000)
+        )
+        sim.run()
+        assert [spec.slot for spec in injector.unfired()] == [10_000]
+        assert injector.injected == []
+
+    def test_eviction_fault_on_empty_llc_is_an_error(self):
+        sim = checked_sim()
+        install_fault_plan(
+            sim.engine, FaultPlan.single(FaultKind.SPURIOUS_EVICTION, 0)
+        )
+        with pytest.raises(SimulationError, match="no suitable VALID entry"):
+            sim.run()
+
+    def test_multi_fault_plan_delivers_in_slot_order(self):
+        sim = checked_sim()
+        plan = FaultPlan(
+            faults=(
+                FaultSpec(kind=FaultKind.DROPPED_SLOT, slot=6),
+                FaultSpec(kind=FaultKind.DROPPED_SLOT, slot=3),
+            )
+        )
+        injector = FaultInjector(plan).install(sim.engine)
+        with pytest.raises(InvariantViolation):
+            sim.run()
+        # The slot-3 fault fires first (and aborts the run before 6).
+        assert injector.injected[0].spec.slot == 3
