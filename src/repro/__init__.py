@@ -145,6 +145,13 @@ from repro.sim.export import (
     write_report_json,
     write_requests_csv,
 )
+from repro.sim.parallel import (
+    PoolResult,
+    TaskPool,
+    effective_jobs,
+    parallel_available,
+    run_parallel,
+)
 from repro.sim.report import CoreReport, RequestRecord, SimReport
 from repro.sim.simulator import Simulator, simulate
 from repro.sim.sweeps import SweepResult, compare_configs, run_seed, sweep_seeds
@@ -257,6 +264,12 @@ __all__ = [
     "compare_configs",
     "run_seed",
     "sweep_seeds",
+    # parallel execution
+    "PoolResult",
+    "TaskPool",
+    "effective_jobs",
+    "parallel_available",
+    "run_parallel",
     # robustness
     "InvariantMonitor",
     "standard_invariants",

@@ -48,8 +48,16 @@ def _cmd_fig7(args: argparse.Namespace) -> int:
         seed=args.seed,
         adversarial=args.adversarial,
         checked=args.checked,
+        jobs=args.jobs,
     )
     print(result.render())
+    if not result.all_complete():
+        print(
+            "ERROR: a simulation timed out or starved; its rows carry "
+            "no WCL evidence",
+            file=sys.stderr,
+        )
+        return 1
     if not result.all_within_bounds():
         print("ERROR: an observed WCL exceeded its analytical bound", file=sys.stderr)
         return 1
@@ -57,7 +65,12 @@ def _cmd_fig7(args: argparse.Namespace) -> int:
 
 
 def _cmd_fig8(args: argparse.Namespace) -> int:
-    result = run_fig8(args.subfigure, num_requests=args.requests, seed=args.seed)
+    result = run_fig8(
+        args.subfigure,
+        num_requests=args.requests,
+        seed=args.seed,
+        jobs=args.jobs,
+    )
     print(result.render())
     print(
         f"\naverage SS speedup vs P:   {result.average_speedup_vs_p():.2f}x"
@@ -113,8 +126,6 @@ def _cmd_unbounded(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    from pathlib import Path
-
     from repro.experiments.configs import build_system_for_notation
     from repro.sim.export import (
         core_latency_stats,
@@ -130,6 +141,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
         config = dataclasses.replace(config, checked=True)
     suite = get_suite(args.suite)
+    if args.seeds:
+        return _simulate_sweep(args, config, suite)
     traces = suite.build(
         num_cores=args.cores,
         num_requests=args.requests,
@@ -171,6 +184,42 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     if report.timed_out:
         print("WARNING: simulation hit the slot cap", file=sys.stderr)
         return 1
+    return 0
+
+
+def _simulate_sweep(args: argparse.Namespace, config, suite) -> int:
+    """``simulate --seeds ...``: a distributional sweep of one notation."""
+    from repro.sim.sweeps import sweep_seeds
+
+    result = sweep_seeds(
+        config,
+        lambda seed: suite.build(
+            num_cores=args.cores,
+            num_requests=args.requests,
+            address_range=args.range,
+            seed=seed,
+        ),
+        seeds=args.seeds,
+        jobs=args.jobs,
+    )
+    print(
+        render_table(
+            headers=["seed", "observed WCL", "makespan"],
+            rows=[
+                [seed, wcl, makespan]
+                for seed, wcl, makespan in zip(
+                    result.seeds, result.observed_wcls, result.makespans
+                )
+            ],
+            title=f"{args.notation} on suite {args.suite!r} "
+            f"({len(result.seeds)} seeds)",
+        )
+    )
+    print(
+        f"\nmax observed WCL: {result.max_observed_wcl} cycles"
+        f"\nmean makespan:    {result.mean_makespan:.0f} cycles"
+        f"\nWCL spread:       {result.wcl_spread} cycles"
+    )
     return 0
 
 
@@ -250,6 +299,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         num_requests=args.requests,
         address_range=args.range,
         seed=args.seed,
+        jobs=args.jobs,
     )
     print(result.render())
     print(
@@ -268,6 +318,7 @@ def _cmd_all(args: argparse.Namespace) -> int:
         timeout=args.timeout,
         retry=RetryPolicy(max_attempts=args.retries),
         resume=args.resume,
+        jobs=args.jobs,
         progress=print,
     )
     print("\n" + result.summary())
@@ -289,9 +340,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def parse_jobs(text: str) -> int:
+        from repro.common.errors import ConfigurationError
+        from repro.sim.parallel import effective_jobs
+
+        try:
+            return effective_jobs(int(text))
+        except (ValueError, ConfigurationError) as exc:
+            raise argparse.ArgumentTypeError(str(exc))
+
+    def add_jobs_arg(sub_parser: argparse.ArgumentParser) -> None:
+        sub_parser.add_argument(
+            "--jobs",
+            type=parse_jobs,
+            default=1,
+            help="worker processes for independent simulations (default: "
+            "1, serial; 0 = one per CPU); results are merged "
+            "deterministically, so any value yields identical output",
+        )
+
     fig7 = sub.add_parser("fig7", help="reproduce Figure 7 (WCL)")
     fig7.add_argument("--requests", type=int, default=400)
     fig7.add_argument("--seed", type=int, default=2022)
+    add_jobs_arg(fig7)
     fig7.add_argument(
         "--adversarial",
         action="store_true",
@@ -310,6 +381,7 @@ def build_parser() -> argparse.ArgumentParser:
     fig8.add_argument("subfigure", choices=sorted(SUBFIGURES))
     fig8.add_argument("--requests", type=int, default=2000)
     fig8.add_argument("--seed", type=int, default=2022)
+    add_jobs_arg(fig8)
     fig8.set_defaults(func=_cmd_fig8)
 
     bounds = sub.add_parser("bounds", help="print analytical WCL bounds")
@@ -330,9 +402,16 @@ def build_parser() -> argparse.ArgumentParser:
     unbounded.add_argument("--ways", type=int, default=4)
     unbounded.set_defaults(func=_cmd_unbounded)
 
-    def add_workload_args(sub_parser: argparse.ArgumentParser) -> None:
+    def add_workload_args(
+        sub_parser: argparse.ArgumentParser, requests_default: int = 300
+    ) -> None:
         sub_parser.add_argument("--cores", type=int, default=4)
-        sub_parser.add_argument("--requests", type=int, default=300)
+        sub_parser.add_argument(
+            "--requests",
+            type=int,
+            default=requests_default,
+            help=f"LLC requests per core (default: {requests_default})",
+        )
         sub_parser.add_argument("--range", type=int, default=4096)
         sub_parser.add_argument("--seed", type=int, default=2022)
 
@@ -342,6 +421,15 @@ def build_parser() -> argparse.ArgumentParser:
     simulate_cmd.add_argument("notation", help="e.g. SS(1,16,4)")
     simulate_cmd.add_argument("--suite", default="fig7")
     add_workload_args(simulate_cmd)
+    simulate_cmd.add_argument(
+        "--seeds",
+        type=int,
+        nargs="+",
+        help="sweep these workload seeds instead of a single --seed run "
+        "and report the WCL/makespan distribution (--json/--csv apply "
+        "to single runs only)",
+    )
+    add_jobs_arg(simulate_cmd)
     simulate_cmd.add_argument("--json", help="write the aggregate report here")
     simulate_cmd.add_argument("--csv", help="write per-request records here")
     simulate_cmd.add_argument(
@@ -365,8 +453,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     timeline_cmd.add_argument("notation", nargs="?", default="SS(1,16,4)")
     timeline_cmd.add_argument("--suite", default="storm")
-    add_workload_args(timeline_cmd)
-    timeline_cmd.set_defaults(requests=60)
+    # The timeline renders per-slot detail, so it defaults to a much
+    # shorter run than the other workload commands; registering the
+    # default on the argument itself keeps --help truthful (a bare
+    # set_defaults() after add_workload_args silently diverged).
+    add_workload_args(timeline_cmd, requests_default=60)
     timeline_cmd.add_argument("--start-slot", type=int, default=0)
     timeline_cmd.add_argument("--slots", type=int, default=80)
     timeline_cmd.set_defaults(func=_cmd_timeline)
@@ -402,6 +493,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=3,
         help="attempts per artifact for transient (host-level) failures",
     )
+    add_jobs_arg(all_cmd)
     all_cmd.set_defaults(func=_cmd_all)
 
     compare_cmd = sub.add_parser(
@@ -412,6 +504,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     compare_cmd.add_argument("--suite", default="fig7")
     add_workload_args(compare_cmd)
+    add_jobs_arg(compare_cmd)
     compare_cmd.set_defaults(func=_cmd_compare)
     return parser
 

@@ -97,8 +97,16 @@ def compare_notations(
     num_requests: int = 300,
     address_range: int = 4096,
     seed: int = 2022,
+    jobs: int = 1,
 ) -> CompareResult:
-    """Run every notation against the same suite-built traces."""
+    """Run every notation against the same suite-built traces.
+
+    With ``jobs > 1`` the per-notation simulations run in worker
+    processes; rows come back in the caller's notation order, so the
+    result equals a serial run.
+    """
+    from repro.sim.parallel import parallel_available, run_parallel
+
     require(bool(notations), "need at least one notation", ConfigurationError)
     traces = get_suite(suite).build(
         num_cores=num_cores,
@@ -106,21 +114,28 @@ def compare_notations(
         address_range=address_range,
         seed=seed,
     )
-    rows: List[CompareRow] = []
-    for notation in notations:
+
+    def one_row(notation: str) -> CompareRow:
         config = build_system_for_notation(notation, num_cores=num_cores)
         report = simulate(config, traces)
         bounds = derive_core_bounds(config)
         finite = [b.cycles for b in bounds.values() if b.cycles is not None]
-        rows.append(
-            CompareRow(
-                notation=notation,
-                makespan=report.makespan,
-                observed_wcl=report.observed_wcl(),
-                analytical_wcl=max(finite) if len(finite) == len(bounds) else None,
-                llc_hit_rate=report.llc_stats.hit_rate,
-                dram_reads=report.dram_reads,
-                dram_writes=report.dram_writes,
-            )
+        return CompareRow(
+            notation=notation,
+            makespan=report.makespan,
+            observed_wcl=report.observed_wcl(),
+            analytical_wcl=max(finite) if len(finite) == len(bounds) else None,
+            llc_hit_rate=report.llc_stats.hit_rate,
+            dram_reads=report.dram_reads,
+            dram_writes=report.dram_writes,
         )
+
+    if jobs > 1 and len(notations) > 1 and parallel_available():
+        tasks = [
+            (f"{index}-{notation}", lambda notation=notation: one_row(notation))
+            for index, notation in enumerate(notations)
+        ]
+        rows = run_parallel(tasks, jobs=jobs)
+    else:
+        rows = [one_row(notation) for notation in notations]
     return CompareResult(suite=suite, rows=rows)

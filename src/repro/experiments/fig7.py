@@ -38,11 +38,27 @@ class Fig7Row:
     address_range: int
     observed_wcl: int
     analytical_wcl: int
+    #: Whether the run hit the slot cap before every trace finished.
+    timed_out: bool = False
+    #: Whether the run stopped with cores still holding an uncompleted
+    #: request (the starvation signature).
+    starved: bool = False
+
+    @property
+    def complete(self) -> bool:
+        """Whether the underlying run finished and can carry evidence."""
+        return not (self.timed_out or self.starved)
 
     @property
     def within_bound(self) -> bool:
-        """Whether the observation respects the analytical bound."""
-        return self.observed_wcl <= self.analytical_wcl
+        """Whether the observation respects the analytical bound.
+
+        A broken run (timed out / starved cores) reports an observed
+        WCL over only the requests that completed — a fully wedged run
+        reports 0 — so it must FAIL the bound check rather than pass it
+        vacuously.
+        """
+        return self.complete and self.observed_wcl <= self.analytical_wcl
 
     @property
     def slack(self) -> float:
@@ -67,8 +83,16 @@ class Fig7Result:
         return max((row.observed_wcl for row in self.for_config(config)), default=0)
 
     def all_within_bounds(self) -> bool:
-        """The paper's headline check: every observation under its bound."""
+        """The paper's headline check: every observation under its bound.
+
+        False when any run is broken (timed out / starved) — such a row
+        carries no WCL evidence and must not pass vacuously.
+        """
         return all(row.within_bound for row in self.rows)
+
+    def all_complete(self) -> bool:
+        """Whether every cell's simulation ran to completion."""
+        return all(row.complete for row in self.rows)
 
     def render(self) -> str:
         """The figure as a text table."""
@@ -80,7 +104,9 @@ class Fig7Result:
                     row.address_range,
                     row.observed_wcl,
                     row.analytical_wcl,
-                    "yes" if row.within_bound else "VIOLATED",
+                    "yes"
+                    if row.within_bound
+                    else ("BROKEN" if not row.complete else "VIOLATED"),
                 ]
                 for row in self.rows
             ],
@@ -98,6 +124,7 @@ def run_fig7(
     seed: int = 2022,
     adversarial: bool = False,
     checked: bool = False,
+    jobs: int = 1,
 ) -> Fig7Result:
     """Run the full Figure 7 sweep.
 
@@ -119,10 +146,17 @@ def run_fig7(
     but any model-state corruption aborts the run with an
     :class:`~repro.common.errors.InvariantViolation` instead of
     polluting the figure.
+
+    With ``jobs > 1`` the configuration × address-range grid of
+    independent simulations runs in worker processes; rows come back in
+    the same canonical (configuration, range) order, so the result is
+    identical to a serial run.
     """
     import dataclasses
 
-    rows: List[Fig7Row] = []
+    from repro.sim.parallel import parallel_available, run_parallel
+
+    cells: List[tuple] = []
     for notation_text in FIG7_CONFIGS:
         notation = PartitionNotation.parse(notation_text)
         steer = adversarial and notation.kind is not PartitionKind.P
@@ -138,15 +172,38 @@ def run_fig7(
             core_capacity_lines=PAPER_CORE_CAPACITY_LINES,
         )
         for address_range in address_ranges:
-            report = _run_one(config, address_range, num_requests, seed, steer)
-            rows.append(
-                Fig7Row(
-                    config=notation_text,
-                    address_range=address_range,
-                    observed_wcl=report.observed_wcl(),
-                    analytical_wcl=bound,
-                )
+            cells.append((notation_text, config, bound, address_range, steer))
+
+    if jobs > 1 and len(cells) > 1 and parallel_available():
+        tasks = [
+            (
+                f"{notation_text}/range-{address_range}",
+                lambda config=config, address_range=address_range, steer=steer: (
+                    _run_one(config, address_range, num_requests, seed, steer)
+                ),
             )
+            for notation_text, config, bound, address_range, steer in cells
+        ]
+        reports = run_parallel(tasks, jobs=jobs)
+    else:
+        reports = [
+            _run_one(config, address_range, num_requests, seed, steer)
+            for _, config, _, address_range, steer in cells
+        ]
+
+    rows = [
+        Fig7Row(
+            config=notation_text,
+            address_range=address_range,
+            observed_wcl=report.observed_wcl(),
+            analytical_wcl=bound,
+            timed_out=report.timed_out,
+            starved=bool(report.starved_cores()),
+        )
+        for (notation_text, _, bound, address_range, _), report in zip(
+            cells, reports
+        )
+    ]
     return Fig7Result(rows=rows)
 
 

@@ -176,37 +176,89 @@ def graded_workload(
     return traces
 
 
+#: Canonical configuration order within one Figure 8 cell.
+_FIG8_KINDS = (PartitionKind.SS, PartitionKind.NSS, PartitionKind.P)
+
+
+def _run_cell(
+    kind: PartitionKind,
+    num_cores: int,
+    capacity: int,
+    address_range: int,
+    num_requests: int,
+    seed: int,
+) -> int:
+    """One (range, configuration) cell: the configuration's makespan.
+
+    Traces are rebuilt from the seed inside the cell, so a cell is
+    self-contained (parallel workers need no shared state) yet replays
+    byte-identical addresses — the workload depends only on seed and
+    range, never on the configuration.
+    """
+    traces = graded_workload(num_cores, address_range, num_requests, seed)
+    config = fig8_system(kind, num_cores, capacity, seed=seed)
+    return simulate(config, traces).makespan
+
+
 def run_fig8(
     subfigure: str,
     address_ranges: Sequence[int] = DEFAULT_ADDRESS_RANGES,
     num_requests: int = 2000,
     seed: int = 2022,
+    jobs: int = 1,
 ) -> Fig8Result:
-    """Run one sub-figure (``"8a"`` .. ``"8d"``)."""
+    """Run one sub-figure (``"8a"`` .. ``"8d"``).
+
+    With ``jobs > 1`` the range × configuration grid runs in worker
+    processes (:mod:`repro.sim.parallel`); rows are assembled in
+    canonical (range, SS/NSS/P) order either way, so the result is
+    identical to a serial run.
+    """
+    from repro.sim.parallel import parallel_available, run_parallel
+
     if subfigure not in SUBFIGURES:
         raise KeyError(
             f"unknown sub-figure {subfigure!r}; choose from {sorted(SUBFIGURES)}"
         )
     num_cores, capacity = SUBFIGURES[subfigure]
-    rows: List[Fig8Row] = []
-    for address_range in address_ranges:
-        traces = graded_workload(num_cores, address_range, num_requests, seed)
-        cycles: Dict[PartitionKind, int] = {}
-        for kind in (PartitionKind.SS, PartitionKind.NSS, PartitionKind.P):
-            config = fig8_system(kind, num_cores, capacity, seed=seed)
-            report = simulate(config, traces)
-            cycles[kind] = report.makespan
-        rows.append(
-            Fig8Row(
-                subfigure=subfigure,
-                num_cores=num_cores,
-                capacity_bytes=capacity,
-                address_range=address_range,
-                ss_cycles=cycles[PartitionKind.SS],
-                nss_cycles=cycles[PartitionKind.NSS],
-                p_cycles=cycles[PartitionKind.P],
+    cells = [
+        (address_range, kind)
+        for address_range in address_ranges
+        for kind in _FIG8_KINDS
+    ]
+    if jobs > 1 and len(cells) > 1 and parallel_available():
+        tasks = [
+            (
+                f"range-{address_range}/{kind.name}",
+                lambda address_range=address_range, kind=kind: _run_cell(
+                    kind, num_cores, capacity, address_range, num_requests, seed
+                ),
             )
+            for address_range, kind in cells
+        ]
+        makespans = run_parallel(tasks, jobs=jobs)
+    else:
+        makespans = [
+            _run_cell(
+                kind, num_cores, capacity, address_range, num_requests, seed
+            )
+            for address_range, kind in cells
+        ]
+    cycles_by_cell: Dict[tuple, int] = {
+        cell: makespan for cell, makespan in zip(cells, makespans)
+    }
+    rows = [
+        Fig8Row(
+            subfigure=subfigure,
+            num_cores=num_cores,
+            capacity_bytes=capacity,
+            address_range=address_range,
+            ss_cycles=cycles_by_cell[(address_range, PartitionKind.SS)],
+            nss_cycles=cycles_by_cell[(address_range, PartitionKind.NSS)],
+            p_cycles=cycles_by_cell[(address_range, PartitionKind.P)],
         )
+        for address_range in address_ranges
+    ]
     return Fig8Result(
         subfigure=subfigure,
         num_cores=num_cores,

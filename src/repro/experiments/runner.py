@@ -89,12 +89,16 @@ def _constants_artifact() -> ArtifactResult:
     )
 
 
-def _fig7_artifact(num_requests: int) -> ArtifactResult:
-    result = run_fig7(num_requests=num_requests)
+def _fig7_artifact(num_requests: int, jobs: int = 1) -> ArtifactResult:
+    result = run_fig7(num_requests=num_requests, jobs=jobs)
     return ArtifactResult(
         name="figure-7",
         table=result.render(),
         checks={
+            # all_within_bounds is False for broken (timed-out/starved)
+            # runs; all-runs-complete makes that failure mode explicit
+            # in the artifact summary instead of hiding behind a bound.
+            "all-runs-complete": result.all_complete(),
             "all-within-bounds": result.all_within_bounds(),
             "nss-at-least-ss": result.max_observed("NSS(1,16,4)")
             >= result.max_observed("SS(1,16,4)"),
@@ -104,8 +108,8 @@ def _fig7_artifact(num_requests: int) -> ArtifactResult:
     )
 
 
-def _fig8_artifact(subfigure: str, num_requests: int) -> ArtifactResult:
-    result = run_fig8(subfigure, num_requests=num_requests)
+def _fig8_artifact(subfigure: str, num_requests: int, jobs: int = 1) -> ArtifactResult:
+    result = run_fig8(subfigure, num_requests=num_requests, jobs=jobs)
     ties = all(
         row.ss_cycles == row.nss_cycles == row.p_cycles
         for row in result.rows_with_fit()
@@ -185,6 +189,7 @@ def _isolation_artifact() -> ArtifactResult:
 def artifact_steps(
     num_requests: int = 300,
     tightness_repeats: int = 25,
+    jobs: int = 1,
 ) -> List[Tuple[str, Callable[[], ArtifactResult]]]:
     """Every reproduction artifact as a ``(name, thunk)`` pair.
 
@@ -193,13 +198,17 @@ def artifact_steps(
     interrupted campaign can tell which artifacts are already done.
     Each thunk returns the :class:`ArtifactResult` whose ``name``
     matches the pair's name.
+
+    ``jobs`` parallelises the grid *inside* the figure artifacts; leave
+    it at 1 when the campaign itself fans artifacts out across workers
+    (``run_all_robust(jobs=N)``) so the process tree stays bounded.
     """
     steps: List[Tuple[str, Callable[[], ArtifactResult]]] = [
         ("section-5.1-constants", _constants_artifact),
-        ("figure-7", lambda: _fig7_artifact(num_requests)),
+        ("figure-7", lambda: _fig7_artifact(num_requests, jobs)),
     ]
     steps.extend(
-        (f"figure-{sub}", lambda sub=sub: _fig8_artifact(sub, num_requests))
+        (f"figure-{sub}", lambda sub=sub: _fig8_artifact(sub, num_requests, jobs))
         for sub in sorted(SUBFIGURES)
     )
     steps.extend(
@@ -216,6 +225,7 @@ def run_all(
     out_dir: Optional[Union[str, Path]] = None,
     num_requests: int = 300,
     tightness_repeats: int = 25,
+    jobs: int = 1,
     progress: Optional[Callable[[str], None]] = None,
 ) -> RunAllResult:
     """Regenerate every artifact; optionally write them to ``out_dir``.
@@ -224,10 +234,11 @@ def run_all(
     after it.  ``repro-llc all`` uses the crash-tolerant wrapper
     (:func:`repro.robustness.runner.run_all_robust`) which adds
     timeouts, retries, quarantine and manifest-based resume on top of
-    the same steps.
+    the same steps.  ``jobs`` parallelises the figure grids inside each
+    artifact (the artifacts themselves run in order).
     """
     result = RunAllResult()
-    for _, step in artifact_steps(num_requests, tightness_repeats):
+    for _, step in artifact_steps(num_requests, tightness_repeats, jobs):
         artifact = step()
         if progress is not None:
             progress(f"{artifact.name}: {'PASS' if artifact.passed else 'FAIL'}")

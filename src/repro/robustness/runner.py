@@ -158,10 +158,19 @@ class RunManifest:
         self.save()
 
     def save(self) -> None:
-        """Atomically rewrite the manifest file."""
+        """Atomically rewrite the manifest file.
+
+        Task entries are written in sorted-name order so the file layout
+        does not depend on completion order — a parallel campaign and a
+        serial one produce the same manifest structure.
+        """
         self.path.parent.mkdir(parents=True, exist_ok=True)
         payload = json.dumps(
-            {"version": MANIFEST_VERSION, "tasks": self.tasks}, indent=2
+            {
+                "version": MANIFEST_VERSION,
+                "tasks": {name: self.tasks[name] for name in sorted(self.tasks)},
+            },
+            indent=2,
         )
         tmp = self.path.with_name(self.path.name + ".tmp")
         tmp.write_text(payload + "\n")
@@ -291,8 +300,20 @@ class CampaignRunner:
         Exception classes considered transient (retried with backoff).
         Defaults to :class:`OSError` — host-level flakiness.  Model
         errors (:class:`ReproError`) are deterministic and never retried.
+    jobs:
+        Worker processes for task execution.  ``1`` (the default) runs
+        tasks serially in-process, exactly as before.  With ``jobs > 1``
+        tasks are dispatched to a fork-backed pool
+        (:class:`repro.sim.parallel.TaskPool`): the timeout is enforced
+        by the *parent* (a hung worker is killed, not merely signalled),
+        retry/quarantine semantics are unchanged, manifest entries are
+        still checkpointed atomically as each task completes, and
+        outcomes are reported in canonical task order so the campaign
+        result matches a serial run.  Falls back to serial where the
+        ``fork`` start method is unavailable.
     sleep / clock:
-        Injection points for tests (backoff sleeping, elapsed timing).
+        Injection points for tests (backoff sleeping, elapsed timing;
+        serial path only — the pool schedules its own backoff).
     """
 
     def __init__(
@@ -302,6 +323,7 @@ class CampaignRunner:
         retry: RetryPolicy = RetryPolicy(),
         transient_types: Tuple[type, ...] = (OSError,),
         payload_of: Callable[[Any], Optional[Dict[str, Any]]] = _default_payload,
+        jobs: int = 1,
         sleep: Callable[[float], None] = time.sleep,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
@@ -311,11 +333,13 @@ class CampaignRunner:
                 f"timeout must be positive, got {timeout}",
                 ConfigurationError,
             )
+        require(jobs >= 1, f"jobs must be >= 1, got {jobs}", ConfigurationError)
         self.manifest_path = Path(manifest_path) if manifest_path else None
         self.timeout = timeout
         self.retry = retry
         self.transient_types = transient_types
         self.payload_of = payload_of
+        self.jobs = jobs
         self.sleep = sleep
         self.clock = clock
 
@@ -374,6 +398,11 @@ class CampaignRunner:
             manifest = RunManifest(Path(os.devnull))
             manifest.save = lambda: None  # type: ignore[method-assign]
         result = CampaignResult(manifest=manifest)
+        if self.jobs > 1:
+            from repro.sim.parallel import parallel_available
+
+            if parallel_available():
+                return self._run_parallel(tasks, resume, manifest, result, progress)
         for name, thunk in tasks:
             if resume and manifest.is_done(name):
                 outcome = TaskOutcome(
@@ -389,6 +418,112 @@ class CampaignRunner:
                 tag = "PASS" if outcome.status == "done" else "QUARANTINED"
                 progress(f"{name}: {tag}")
         return result
+
+    def _run_parallel(
+        self,
+        tasks: Sequence[Task],
+        resume: bool,
+        manifest: RunManifest,
+        result: CampaignResult,
+        progress: Optional[Callable[[str], None]],
+    ) -> CampaignResult:
+        """Dispatch runnable tasks to the fork-backed pool.
+
+        Resume semantics match the serial path (done tasks are skipped);
+        each completing worker checkpoints its manifest entry at once;
+        outcomes are merged back in canonical task order so a parallel
+        campaign's :class:`CampaignResult` equals a serial run's.
+        """
+        from repro.sim.parallel import PoolResult, TaskPool
+
+        skipped: Dict[str, TaskOutcome] = {}
+        runnable: List[Task] = []
+        for name, thunk in tasks:
+            if resume and manifest.is_done(name):
+                skipped[name] = TaskOutcome(
+                    name=name, status="skipped", attempts=0, elapsed_seconds=0.0
+                )
+                if progress is not None:
+                    progress(f"{name}: already done (resumed)")
+            else:
+                runnable.append((name, thunk))
+
+        outcomes: Dict[str, TaskOutcome] = {}
+
+        def on_result(pool_result: PoolResult) -> None:
+            outcome = self._record_pool_result(pool_result, manifest)
+            outcomes[outcome.name] = outcome
+            if progress is not None:
+                tag = "PASS" if outcome.status == "done" else "QUARANTINED"
+                progress(f"{outcome.name}: {tag}")
+
+        pool = TaskPool(
+            jobs=self.jobs,
+            timeout=self.timeout,
+            retry_attempts=self.retry.max_attempts,
+            retry_delay=self.retry.delay,
+            is_transient=lambda exc: (
+                isinstance(exc, self.transient_types)
+                and not isinstance(exc, ReproError)
+            ),
+        )
+        try:
+            pool.run(runnable, on_result=on_result)
+        except KeyboardInterrupt:
+            # Killed mid-campaign: everything completed so far is
+            # already checkpointed; persist and let the interrupt
+            # unwind — the next run resumes from here.
+            manifest.save()
+            raise
+        result.outcomes.extend(
+            skipped[name] if name in skipped else outcomes[name]
+            for name, _ in tasks
+        )
+        return result
+
+    def _record_pool_result(
+        self, pool_result: "Any", manifest: RunManifest
+    ) -> TaskOutcome:
+        """Checkpoint one pool completion; mirror the serial entries."""
+        if pool_result.ok:
+            manifest.record(
+                pool_result.name,
+                {
+                    "status": "done",
+                    "attempts": pool_result.attempts,
+                    "elapsed_seconds": round(pool_result.elapsed_seconds, 3),
+                    "error": None,
+                    "error_type": None,
+                    "payload": self.payload_of(pool_result.value),
+                },
+            )
+            return TaskOutcome(
+                name=pool_result.name,
+                status="done",
+                attempts=pool_result.attempts,
+                elapsed_seconds=pool_result.elapsed_seconds,
+                result=pool_result.value,
+            )
+        error = pool_result.error
+        manifest.record(
+            pool_result.name,
+            {
+                "status": "quarantined",
+                "attempts": pool_result.attempts,
+                "elapsed_seconds": round(pool_result.elapsed_seconds, 3),
+                "error": str(error),
+                "error_type": type(error).__name__,
+                "payload": None,
+            },
+        )
+        return TaskOutcome(
+            name=pool_result.name,
+            status="quarantined",
+            attempts=pool_result.attempts,
+            elapsed_seconds=pool_result.elapsed_seconds,
+            error_type=type(error).__name__,
+            error=str(error),
+        )
 
     def _run_task(
         self, name: str, thunk: Callable[[], Any], manifest: RunManifest
@@ -471,6 +606,7 @@ def run_all_robust(
     timeout: Optional[float] = None,
     retry: RetryPolicy = RetryPolicy(),
     resume: bool = True,
+    jobs: int = 1,
     progress: Optional[Callable[[str], None]] = None,
 ) -> CampaignResult:
     """Crash-tolerant ``run_all``: every artifact as a quarantinable task.
@@ -481,6 +617,11 @@ def run_all_robust(
     every artifact so an interrupted ``repro-llc all`` resumes instead
     of restarting.  The summary files are rebuilt from the manifest, so
     a resumed campaign reports previously-completed artifacts too.
+
+    ``jobs > 1`` runs the independent artifacts in worker processes
+    (the artifacts themselves stay serial inside each worker, so the
+    process tree never over-commits); results, summaries and the
+    manifest are identical to a serial campaign's.
     """
     from repro.experiments.runner import artifact_steps
 
@@ -506,7 +647,7 @@ def run_all_robust(
         for name, step in artifact_steps(num_requests, tightness_repeats)
     ]
     runner = CampaignRunner(
-        manifest_path=manifest_path, timeout=timeout, retry=retry
+        manifest_path=manifest_path, timeout=timeout, retry=retry, jobs=jobs
     )
     result = runner.run(tasks, resume=resume, progress=progress)
 
@@ -561,16 +702,20 @@ def sweep_seeds_robust(
     seeds: Sequence[int],
     check: Optional[Callable[[SimReport], None]] = None,
     runner: Optional[CampaignRunner] = None,
+    jobs: int = 1,
     progress: Optional[Callable[[str], None]] = None,
 ) -> RobustSweepResult:
     """Crash-tolerant :func:`repro.sim.sweeps.sweep_seeds`.
 
     Each seed runs as one campaign task (timeout/retry/quarantine apply
     per seed); failed seeds are quarantined and the sweep aggregates
-    over the survivors instead of dying.
+    over the survivors instead of dying.  ``jobs > 1`` fans the seeds
+    out across worker processes (ignored when an explicit ``runner`` is
+    supplied — configure ``CampaignRunner(jobs=...)`` instead); results
+    aggregate in canonical seed order either way.
     """
     require(bool(seeds), "sweep needs at least one seed", ConfigurationError)
-    runner = runner or CampaignRunner()
+    runner = runner or CampaignRunner(jobs=jobs)
     tasks: List[Task] = [
         (
             f"seed-{seed}",

@@ -9,6 +9,13 @@ slot boundaries.
 
 from repro.sim.config import SystemConfig
 from repro.sim.events import EventKind, SimEvent, EventLog
+from repro.sim.parallel import (
+    PoolResult,
+    TaskPool,
+    effective_jobs,
+    parallel_available,
+    run_parallel,
+)
 from repro.sim.report import CoreReport, RequestRecord, SimReport
 from repro.sim.simulator import Simulator, simulate
 from repro.sim.sweeps import SweepResult, compare_configs, sweep_seeds
@@ -26,4 +33,9 @@ __all__ = [
     "SweepResult",
     "compare_configs",
     "sweep_seeds",
+    "PoolResult",
+    "TaskPool",
+    "effective_jobs",
+    "parallel_available",
+    "run_parallel",
 ]

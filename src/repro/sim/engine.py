@@ -155,9 +155,11 @@ class SlotEngine:
             )
         if core.done and core_id not in self._finished_cores:
             self._finished_cores.add(core_id)
+            # `finish_time or 0` would misreport a legitimate cycle-0
+            # finish (an empty trace) the same as a missing finish time.
             self._events_on and self.events.append(
                 SimEvent(
-                    cycle=core.finish_time or 0,
+                    cycle=core.finish_time if core.finish_time is not None else 0,
                     slot=self._slot,
                     kind=EventKind.CORE_DONE,
                     core=core_id,

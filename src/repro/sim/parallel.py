@@ -1,0 +1,372 @@
+"""Parallel task execution with a deterministic merge.
+
+The paper's evaluation is a grid of *independent* simulations —
+configurations × address ranges × seeds — so the sweep and campaign
+layers can fan the grid out across worker processes and merge the
+results back **deterministically**: every result is keyed by its stable
+task name and returned in canonical submission order, so a parallel run
+is bit-identical to the serial one (same thunks, same inputs, no shared
+mutable state between tasks).
+
+Design notes
+------------
+* **Fork-backed process-per-task pool.**  Task thunks are closures over
+  configs and trace factories, which do not survive pickling; with the
+  ``fork`` start method a worker inherits the thunk through the forked
+  address space, so arbitrary closures run unchanged.  Only the task's
+  *result* (or its exception) crosses the process boundary, via a pipe.
+* **Parent-enforced timeouts.**  The serial campaign runner's SIGALRM
+  timeout only works on the main thread of the executing process — a
+  hung worker cannot be trusted to interrupt itself.  Here the *parent*
+  tracks one deadline per in-flight task and SIGKILLs the worker when
+  it expires, so a genuinely wedged simulation (busy loop, deadlock)
+  is reclaimed.
+* **Bounded concurrency.**  At most ``jobs`` workers run at once;
+  completed slots are refilled from the pending queue in submission
+  order (transient retries re-enter the queue with a backoff deadline).
+* On platforms without ``fork`` (Windows), :func:`parallel_available`
+  is ``False`` and every caller falls back to its serial path.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection
+import os
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.common.errors import ConfigurationError, TaskTimeoutError
+from repro.common.validation import require
+
+#: A pool task: a stable name plus a nullary callable producing the
+#: task's result (the same shape the campaign runner uses).
+PoolTask = Tuple[str, Callable[[], Any]]
+
+#: Decides whether a worker-side exception is transient (retryable).
+TransientPredicate = Callable[[BaseException], bool]
+
+
+def parallel_available() -> bool:
+    """Whether the fork-backed pool can run on this platform."""
+    return hasattr(os, "fork") and (
+        "fork" in multiprocessing.get_all_start_methods()
+    )
+
+
+def effective_jobs(jobs: Optional[int]) -> int:
+    """Normalise a ``--jobs`` value: ``None``/0 means one per CPU."""
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    require(jobs >= 1, f"jobs must be >= 1, got {jobs}", ConfigurationError)
+    return jobs
+
+
+@dataclass(frozen=True)
+class PoolResult:
+    """The outcome of one pool task, in the parent process."""
+
+    index: int
+    name: str
+    #: ``"done"``, ``"error"`` (worker raised) or ``"timeout"`` (killed).
+    status: str
+    value: Any = None
+    #: The worker's exception, re-hydrated in the parent (``error`` /
+    #: ``timeout`` status only).
+    error: Optional[BaseException] = None
+    attempts: int = 1
+    elapsed_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """Whether the task produced a value."""
+        return self.status == "done"
+
+
+def _worker_main(thunk: Callable[[], Any], conn) -> None:
+    """Run one task in a forked child; ship the outcome up the pipe."""
+    try:
+        payload: Tuple[str, Any] = ("ok", thunk())
+    except BaseException as exc:  # noqa: BLE001 - ships to the parent
+        payload = ("error", exc)
+    try:
+        conn.send(payload)
+    except Exception as exc:
+        # The value (or the exception) did not survive pickling; report
+        # that instead of dying silently with an EOF in the parent.
+        try:
+            conn.send(
+                (
+                    "error",
+                    RuntimeError(
+                        f"task result could not cross the process "
+                        f"boundary: {exc}"
+                    ),
+                )
+            )
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+@dataclass
+class _Pending:
+    index: int
+    name: str
+    thunk: Callable[[], Any]
+    attempts: int = 0
+    ready_at: float = 0.0
+
+
+@dataclass
+class _Running:
+    pending: _Pending
+    process: multiprocessing.process.BaseProcess
+    conn: Any
+    started: float
+    deadline: Optional[float]
+
+
+class TaskPool:
+    """Runs named tasks in forked workers; merges results deterministically.
+
+    Parameters
+    ----------
+    jobs:
+        Maximum concurrent worker processes (>= 1).
+    timeout:
+        Per-task wall-clock budget in seconds, enforced by the parent —
+        an expired worker is SIGKILLed and its task reports status
+        ``"timeout"`` with a :class:`TaskTimeoutError`.  ``None``
+        disables it.
+    retry_attempts / retry_delay / is_transient:
+        Bounded retry for worker failures ``is_transient`` accepts:
+        the task re-enters the queue after ``retry_delay(attempt)``
+        seconds, at most ``retry_attempts`` total attempts.  Timeouts
+        are never retried (a hung task will hang again).
+    """
+
+    def __init__(
+        self,
+        jobs: int,
+        timeout: Optional[float] = None,
+        retry_attempts: int = 1,
+        retry_delay: Callable[[int], float] = lambda attempt: 0.0,
+        is_transient: Optional[TransientPredicate] = None,
+    ) -> None:
+        require(jobs >= 1, f"jobs must be >= 1, got {jobs}", ConfigurationError)
+        if timeout is not None:
+            require(
+                timeout > 0,
+                f"timeout must be positive, got {timeout}",
+                ConfigurationError,
+            )
+        require(
+            retry_attempts >= 1,
+            f"retry_attempts must be >= 1, got {retry_attempts}",
+            ConfigurationError,
+        )
+        if not parallel_available():
+            raise ConfigurationError(
+                "parallel execution needs the 'fork' start method; "
+                "use the serial path on this platform"
+            )
+        self.jobs = jobs
+        self.timeout = timeout
+        self.retry_attempts = retry_attempts
+        self.retry_delay = retry_delay
+        self.is_transient = is_transient or (lambda exc: False)
+        self._context = multiprocessing.get_context("fork")
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        tasks: Sequence[PoolTask],
+        on_result: Optional[Callable[[PoolResult], None]] = None,
+    ) -> List[PoolResult]:
+        """Run every task; return results in submission order.
+
+        ``on_result`` fires in *completion* order as workers finish
+        (the campaign runner checkpoints its manifest there); the
+        returned list is always in submission order, which is what
+        makes parallel aggregation bit-identical to serial.
+        """
+        names = [name for name, _ in tasks]
+        require(
+            len(names) == len(set(names)),
+            f"pool task names must be unique, got {names}",
+            ConfigurationError,
+        )
+        pending: List[_Pending] = [
+            _Pending(index=i, name=name, thunk=thunk)
+            for i, (name, thunk) in enumerate(tasks)
+        ]
+        running: List[_Running] = []
+        results: Dict[int, PoolResult] = {}
+        try:
+            while pending or running:
+                now = time.monotonic()
+                self._fill_slots(pending, running, now)
+                self._wait(pending, running)
+                now = time.monotonic()
+                self._reap_finished(pending, running, results, now, on_result)
+                self._kill_expired(running, results, now, on_result)
+        except BaseException:
+            # KeyboardInterrupt (or a callback error): reclaim workers
+            # before unwinding so no orphan keeps burning CPU.
+            for run in running:
+                run.process.kill()
+                run.process.join()
+                run.conn.close()
+            raise
+        return [results[i] for i in range(len(tasks))]
+
+    # ------------------------------------------------------------------
+    def _fill_slots(
+        self, pending: List[_Pending], running: List[_Running], now: float
+    ) -> None:
+        while pending and len(running) < self.jobs:
+            ready = [p for p in pending if p.ready_at <= now]
+            if not ready:
+                break
+            task = ready[0]
+            pending.remove(task)
+            task.attempts += 1
+            parent_conn, child_conn = self._context.Pipe(duplex=False)
+            process = self._context.Process(
+                target=_worker_main,
+                args=(task.thunk, child_conn),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            running.append(
+                _Running(
+                    pending=task,
+                    process=process,
+                    conn=parent_conn,
+                    started=now,
+                    deadline=(now + self.timeout) if self.timeout else None,
+                )
+            )
+
+    def _wait(self, pending: List[_Pending], running: List[_Running]) -> None:
+        now = time.monotonic()
+        wake_times = [run.deadline for run in running if run.deadline]
+        wake_times.extend(p.ready_at for p in pending if p.ready_at > now)
+        wait = max(0.0, min(wake_times) - now) if wake_times else None
+        if running:
+            multiprocessing.connection.wait(
+                [run.conn for run in running], timeout=wait
+            )
+        elif wait:
+            time.sleep(wait)
+
+    def _reap_finished(
+        self,
+        pending: List[_Pending],
+        running: List[_Running],
+        results: Dict[int, PoolResult],
+        now: float,
+        on_result: Optional[Callable[[PoolResult], None]],
+    ) -> None:
+        for run in list(running):
+            if not (run.conn.poll() or not run.process.is_alive()):
+                continue
+            try:
+                status, payload = run.conn.recv()
+            except (EOFError, OSError):
+                # Worker died without reporting (killed by the OS, or
+                # its result pipe broke): surface as a non-transient
+                # error rather than hanging the campaign.
+                status, payload = (
+                    "error",
+                    RuntimeError(
+                        f"worker for task {run.pending.name!r} exited "
+                        f"without a result (exit code "
+                        f"{run.process.exitcode})"
+                    ),
+                )
+            running.remove(run)
+            run.process.join()
+            run.conn.close()
+            task = run.pending
+            if status == "ok":
+                result = PoolResult(
+                    index=task.index,
+                    name=task.name,
+                    status="done",
+                    value=payload,
+                    attempts=task.attempts,
+                    elapsed_seconds=now - run.started,
+                )
+            elif (
+                self.is_transient(payload)
+                and task.attempts < self.retry_attempts
+            ):
+                task.ready_at = now + self.retry_delay(task.attempts)
+                pending.append(task)
+                continue
+            else:
+                result = PoolResult(
+                    index=task.index,
+                    name=task.name,
+                    status="error",
+                    error=payload,
+                    attempts=task.attempts,
+                    elapsed_seconds=now - run.started,
+                )
+            results[task.index] = result
+            if on_result is not None:
+                on_result(result)
+
+    def _kill_expired(
+        self,
+        running: List[_Running],
+        results: Dict[int, PoolResult],
+        now: float,
+        on_result: Optional[Callable[[PoolResult], None]],
+    ) -> None:
+        for run in list(running):
+            if run.deadline is None or now < run.deadline:
+                continue
+            run.process.kill()
+            run.process.join()
+            run.conn.close()
+            running.remove(run)
+            task = run.pending
+            result = PoolResult(
+                index=task.index,
+                name=task.name,
+                status="timeout",
+                error=TaskTimeoutError(
+                    f"task {task.name!r} exceeded its wall-clock budget "
+                    f"of {self.timeout}s and its worker was killed"
+                ),
+                attempts=task.attempts,
+                elapsed_seconds=now - run.started,
+            )
+            results[task.index] = result
+            if on_result is not None:
+                on_result(result)
+
+
+def run_parallel(
+    tasks: Sequence[PoolTask],
+    jobs: int,
+    timeout: Optional[float] = None,
+) -> List[Any]:
+    """Run ``tasks`` with ``jobs`` workers; return values in task order.
+
+    The strict variant used by the plain (non-robust) sweeps: the first
+    failing task — in canonical submission order, regardless of which
+    worker failed first — has its worker-side exception re-raised in the
+    parent, matching the serial loop's fail-fast behaviour.
+    """
+    results = TaskPool(jobs=jobs, timeout=timeout).run(tasks)
+    for result in results:
+        if not result.ok:
+            raise result.error  # noqa: B904 - worker traceback is lost
+    return [result.value for result in results]

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
-from repro.common.errors import ConfigurationError
+from repro.common.errors import ConfigurationError, SimulationError
 from repro.common.types import CoreId, Cycle
 from repro.common.validation import require
 from repro.sim.config import SystemConfig
@@ -48,11 +48,32 @@ class SweepResult:
         return max(self.observed_wcls) - min(self.observed_wcls)
 
 
+def require_complete_run(report: SimReport, context: str = "run") -> None:
+    """Fail loudly when a report cannot carry WCL evidence.
+
+    A run that hit the slot cap (``timed_out``) or stopped with starved
+    cores reports an ``observed_wcl`` computed over the requests that
+    *did* complete — ``max(..., default=0)`` — so a fully wedged run
+    reports WCL 0 and would vacuously "pass" any analytical bound.
+    Every sweep/bound check must reject such reports instead of
+    treating them as evidence.
+    """
+    starved = report.starved_cores()
+    if report.timed_out or starved:
+        raise SimulationError(
+            f"{context} did not complete (timed_out={report.timed_out}, "
+            f"starved_cores={starved}); its observed WCL of "
+            f"{report.observed_wcl()} cycles covers only the requests "
+            "that finished and cannot be checked against a bound"
+        )
+
+
 def run_seed(
     config: SystemConfig,
     trace_factory: TraceFactory,
     seed: int,
     check: Optional[Callable[[SimReport], None]] = None,
+    allow_incomplete: bool = False,
 ) -> SimReport:
     """Run one seed of a sweep; the unit of work sweep runners schedule.
 
@@ -60,8 +81,15 @@ def run_seed(
     returned; its exception propagates with the offending seed attached.
     The crash-tolerant sweep (:func:`repro.robustness.runner.sweep_seeds_robust`)
     wraps exactly this function per task.
+
+    A timed-out or starved run raises :class:`SimulationError` (before
+    ``check`` sees it) unless ``allow_incomplete=True``: an incomplete
+    run's observed WCL covers only the requests that finished, so
+    letting it flow into bound checks would pass them vacuously.
     """
     report = simulate(config, trace_factory(seed))
+    if not allow_incomplete:
+        require_complete_run(report, context=f"seed {seed}")
     if check is not None:
         try:
             check(report)
@@ -70,24 +98,48 @@ def run_seed(
     return report
 
 
+def _sweep_reports(
+    config: SystemConfig,
+    trace_factory: TraceFactory,
+    seeds: Sequence[int],
+    check: Optional[Callable[[SimReport], None]],
+    jobs: int,
+) -> List[SimReport]:
+    """One report per seed, in seed order, serial or fanned out."""
+    from repro.sim.parallel import parallel_available, run_parallel
+
+    if jobs > 1 and len(seeds) > 1 and parallel_available():
+        tasks = [
+            (
+                f"seed-{seed}",
+                lambda seed=seed: run_seed(config, trace_factory, seed, check),
+            )
+            for seed in seeds
+        ]
+        return run_parallel(tasks, jobs=jobs)
+    return [run_seed(config, trace_factory, seed, check) for seed in seeds]
+
+
 def sweep_seeds(
     config: SystemConfig,
     trace_factory: TraceFactory,
     seeds: Sequence[int],
     check: Optional[Callable[[SimReport], None]] = None,
+    jobs: int = 1,
 ) -> SweepResult:
-    """Run ``config`` once per seed; optionally verify each report."""
+    """Run ``config`` once per seed; optionally verify each report.
+
+    With ``jobs > 1`` the per-seed simulations run in worker processes
+    (:mod:`repro.sim.parallel`); results are aggregated in canonical
+    seed order, so the returned :class:`SweepResult` is bit-identical
+    to the serial one.
+    """
     require(bool(seeds), "sweep needs at least one seed", ConfigurationError)
-    observed: List[Cycle] = []
-    makespans: List[Cycle] = []
-    for seed in seeds:
-        report = run_seed(config, trace_factory, seed, check)
-        observed.append(report.observed_wcl())
-        makespans.append(report.makespan)
+    reports = _sweep_reports(config, trace_factory, seeds, check, jobs)
     return SweepResult(
         seeds=tuple(seeds),
-        observed_wcls=tuple(observed),
-        makespans=tuple(makespans),
+        observed_wcls=tuple(report.observed_wcl() for report in reports),
+        makespans=tuple(report.makespan for report in reports),
     )
 
 
@@ -95,6 +147,7 @@ def compare_configs(
     configs: Mapping[str, SystemConfig],
     trace_factory: TraceFactory,
     seeds: Sequence[int],
+    jobs: int = 1,
 ) -> Dict[str, SweepResult]:
     """Sweep several configurations over the *same* seeded workloads.
 
@@ -102,7 +155,38 @@ def compare_configs(
     identical traces — the paper's "same memory addresses across
     different partitioned configurations" requirement, now across a
     whole distribution.
+
+    With ``jobs > 1`` the whole configuration × seed grid is flattened
+    into one task pool, then re-aggregated per configuration in
+    canonical (insertion, seed) order — identical to the serial result.
     """
+    from repro.sim.parallel import parallel_available, run_parallel
+
+    names = list(configs)
+    if jobs > 1 and len(names) * len(seeds) > 1 and parallel_available():
+        tasks = [
+            (
+                f"{name}/seed-{seed}",
+                lambda name=name, seed=seed: run_seed(
+                    configs[name], trace_factory, seed
+                ),
+            )
+            for name in names
+            for seed in seeds
+        ]
+        reports = run_parallel(tasks, jobs=jobs)
+        per_config = {
+            name: reports[i * len(seeds) : (i + 1) * len(seeds)]
+            for i, name in enumerate(names)
+        }
+        return {
+            name: SweepResult(
+                seeds=tuple(seeds),
+                observed_wcls=tuple(r.observed_wcl() for r in cell),
+                makespans=tuple(r.makespan for r in cell),
+            )
+            for name, cell in per_config.items()
+        }
     return {
         name: sweep_seeds(config, trace_factory, seeds)
         for name, config in configs.items()

@@ -1,0 +1,222 @@
+"""Regression tests for the vacuous-bound, CORE_DONE and CLI-default fixes.
+
+Three historical bugs, pinned here so they stay fixed:
+
+1. Bound checks compared against ``observed_wcl`` — which is
+   ``max(..., default=0)`` — so a timed-out/starved run reported WCL 0
+   and vacuously *passed* every analytical bound.
+2. The engine's CORE_DONE event used ``cycle=core.finish_time or 0``,
+   conflating a legitimate cycle-0 finish with a missing finish time.
+3. The ``timeline`` CLI registered ``--requests`` default 300 via
+   ``add_workload_args`` and then silently overrode it to 60 with
+   ``set_defaults``, so ``--help`` lied about the default.
+"""
+
+import pytest
+
+from sim_helpers import small_config, write_trace_of
+
+from repro.cli import build_parser
+from repro.common.errors import SimulationError
+from repro.experiments.fig7 import Fig7Result, Fig7Row
+from repro.experiments.runner import _fig7_artifact
+from repro.sim.events import EventKind
+from repro.sim.simulator import simulate
+from repro.sim.sweeps import run_seed, require_complete_run, sweep_seeds
+from repro.workloads.trace import MemoryTrace
+
+
+def wedged_report():
+    """A report whose run hit the slot cap with work outstanding."""
+    config = small_config(num_cores=2, max_slots=3)
+    traces = {
+        0: write_trace_of(range(0, 40)),
+        1: write_trace_of(range(100, 140)),
+    }
+    report = simulate(config, traces)
+    assert report.timed_out, "precondition: the run must hit the slot cap"
+    return report
+
+
+# ----------------------------------------------------------------------
+# 1. Vacuous bound checks
+# ----------------------------------------------------------------------
+class TestVacuousBounds:
+    def test_broken_row_fails_its_bound(self):
+        row = Fig7Row(
+            config="SS(1,16,4)",
+            address_range=1024,
+            observed_wcl=0,  # the vacuous value a wedged run reports
+            analytical_wcl=5000,
+            timed_out=True,
+        )
+        assert not row.complete
+        assert not row.within_bound
+        starved_row = Fig7Row(
+            config="SS(1,16,4)",
+            address_range=1024,
+            observed_wcl=0,
+            analytical_wcl=5000,
+            starved=True,
+        )
+        assert not starved_row.within_bound
+
+    def test_healthy_row_still_passes(self):
+        row = Fig7Row(
+            config="SS(1,16,4)",
+            address_range=1024,
+            observed_wcl=4000,
+            analytical_wcl=5000,
+        )
+        assert row.complete and row.within_bound
+
+    def test_broken_row_renders_as_broken_not_ok(self):
+        result = Fig7Result(
+            rows=[
+                Fig7Row("SS(1,16,4)", 1024, 0, 5000, timed_out=True),
+                Fig7Row("SS(1,16,4)", 2048, 9999, 5000),
+            ]
+        )
+        assert not result.all_complete()
+        assert not result.all_within_bounds()
+        rendered = result.render()
+        assert "BROKEN" in rendered
+        assert "VIOLATED" in rendered
+
+    def test_require_complete_run_rejects_wedged_report(self):
+        report = wedged_report()
+        with pytest.raises(SimulationError, match="did not complete"):
+            require_complete_run(report, context="unit test")
+
+    def test_run_seed_raises_before_the_bound_check_sees_it(self):
+        config = small_config(num_cores=2, max_slots=3)
+
+        def factory(seed):
+            return {
+                0: write_trace_of(range(0, 40)),
+                1: write_trace_of(range(100, 140)),
+            }
+
+        checked = []
+        with pytest.raises(SimulationError, match="seed 7"):
+            run_seed(config, factory, seed=7, check=checked.append)
+        assert checked == [], "the check must never see a wedged report"
+
+    def test_run_seed_allow_incomplete_opts_out(self):
+        config = small_config(num_cores=2, max_slots=3)
+
+        def factory(seed):
+            return {
+                0: write_trace_of(range(0, 40)),
+                1: write_trace_of(range(100, 140)),
+            }
+
+        report = run_seed(config, factory, seed=7, allow_incomplete=True)
+        assert report.timed_out
+
+    def test_sweep_seeds_fails_loudly_on_wedged_seed(self):
+        config = small_config(num_cores=2, max_slots=3)
+
+        def factory(seed):
+            return {
+                0: write_trace_of(range(0, 40)),
+                1: write_trace_of(range(100, 140)),
+            }
+
+        with pytest.raises(SimulationError, match="did not complete"):
+            sweep_seeds(config, factory, seeds=[1, 2])
+
+    def test_fig7_artifact_reports_incomplete_runs(self, monkeypatch):
+        broken = Fig7Result(
+            rows=[Fig7Row("SS(1,16,4)", 1024, 0, 5000, timed_out=True)]
+        )
+        monkeypatch.setattr(
+            "repro.experiments.runner.run_fig7", lambda **kwargs: broken
+        )
+        artifact = _fig7_artifact(num_requests=10)
+        assert artifact.checks["all-runs-complete"] is False
+        assert artifact.checks["all-within-bounds"] is False
+        assert not artifact.passed
+
+
+# ----------------------------------------------------------------------
+# 2. CORE_DONE event cycle
+# ----------------------------------------------------------------------
+class TestCoreDoneEvent:
+    def core_done_cycles(self, report):
+        return {
+            event.core: event.cycle
+            for event in report.events.of_kind(EventKind.CORE_DONE)
+        }
+
+    def test_cycle_zero_finish_is_reported_as_zero(self):
+        # Core 0's trace is empty: it is done at cycle 0, a legitimate
+        # finish time that must appear as such (not as "missing").
+        config = small_config(num_cores=2)
+        report = simulate(
+            config,
+            {0: MemoryTrace([], name="empty"), 1: write_trace_of([1, 2])},
+        )
+        cycles = self.core_done_cycles(report)
+        assert cycles[0] == 0
+        assert report.core_reports[0].finish_time == 0
+
+    def test_delayed_empty_core_reports_its_start_cycle(self):
+        # With a delayed start the empty core's finish time is nonzero;
+        # the event must carry it verbatim.
+        config = small_config(num_cores=2)
+        report = simulate(
+            config,
+            {0: MemoryTrace([], name="empty"), 1: write_trace_of([1, 2])},
+            start_cycles={0: 120},
+        )
+        cycles = self.core_done_cycles(report)
+        assert cycles[0] == 120
+
+    def test_emitted_core_done_events_match_finish_times(self):
+        # (The very last core's CORE_DONE is not emitted — the engine
+        # stops as soon as everyone is done — so only emitted events
+        # are checked here.)
+        config = small_config(num_cores=2)
+        report = simulate(
+            config, {0: write_trace_of([1, 2, 3]), 1: write_trace_of([9])}
+        )
+        cycles = self.core_done_cycles(report)
+        assert cycles, "at least the first finisher must be reported"
+        for core_id, cycle in cycles.items():
+            assert cycle == report.core_reports[core_id].finish_time
+
+
+# ----------------------------------------------------------------------
+# 3. CLI defaults
+# ----------------------------------------------------------------------
+class TestCliDefaults:
+    def test_timeline_requests_default_is_sixty(self):
+        args = build_parser().parse_args(["timeline"])
+        assert args.requests == 60
+
+    def test_timeline_help_states_the_real_default(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["timeline", "--help"])
+        assert "default: 60" in capsys.readouterr().out
+
+    def test_other_workload_commands_keep_the_300_default(self):
+        parser = build_parser()
+        assert parser.parse_args(["simulate", "SS(1,16,4)"]).requests == 300
+        assert parser.parse_args(["workload"]).requests == 300
+
+    def test_jobs_flag_parses_and_normalises(self):
+        import os
+
+        parser = build_parser()
+        assert parser.parse_args(["fig7"]).jobs == 1
+        assert parser.parse_args(["fig7", "--jobs", "3"]).jobs == 3
+        # 0 means one worker per CPU, resolved at parse time.
+        assert parser.parse_args(["fig7", "--jobs", "0"]).jobs == (
+            os.cpu_count() or 1
+        )
+
+    def test_jobs_flag_rejects_negative_values(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig7", "--jobs", "-2"])
+        assert "jobs must be >= 1" in capsys.readouterr().err
