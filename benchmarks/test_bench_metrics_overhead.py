@@ -1,0 +1,105 @@
+"""Benchmark: observability overhead gate.
+
+The observability layer promises to be effectively free when disabled
+and cheap when enabled.  Two gates, both on the same workload:
+
+* post-run collection (``with_metrics=True`` on an experiment): the
+  full catalogue build must cost **under 15%** wall clock versus the
+  bare run;
+* the live per-slot sampler (``record_metrics=True``): its hot-path
+  sampling must also cost **under 15%** versus the unsampled engine.
+
+Both paths must leave the simulation results untouched — observation is
+passive.  Ratios use best-of-N timing to damp scheduler noise.
+"""
+
+import dataclasses
+import time
+
+from repro.experiments.configs import build_system_for_notation
+from repro.experiments.fig7 import run_fig7
+from repro.sim.simulator import simulate
+from repro.workloads.synthetic import (
+    SyntheticWorkloadConfig,
+    generate_disjoint_workload,
+)
+
+from bench_common import emit
+
+NUM_REQUESTS = 200
+MAX_OVERHEAD = 1.15
+ROUNDS = 3
+
+
+def _best_of(fn, rounds=ROUNDS):
+    result, best = None, float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return result, best
+
+
+def test_collection_overhead(benchmark):
+    plain, plain_seconds = _best_of(
+        lambda: run_fig7(num_requests=NUM_REQUESTS)
+    )
+
+    def run_with_metrics():
+        return _best_of(
+            lambda: run_fig7(num_requests=NUM_REQUESTS, with_metrics=True)
+        )
+
+    collected, metrics_seconds = benchmark.pedantic(
+        run_with_metrics, iterations=1, rounds=1
+    )
+    ratio = metrics_seconds / plain_seconds
+    emit(
+        f"bare: {plain_seconds:.2f}s   with metrics: {metrics_seconds:.2f}s"
+        f"   overhead: {ratio:.2f}x"
+    )
+
+    # Passivity: collection must not perturb the experiment.
+    assert plain.rows == collected.rows
+    assert plain.metrics is None and collected.metrics is not None
+
+    assert ratio < MAX_OVERHEAD, (
+        f"metrics collection costs {ratio:.2f}x wall clock "
+        f"(budget: < {MAX_OVERHEAD}x); collect_metrics or the merge "
+        "has regressed"
+    )
+
+
+def test_sampler_overhead(benchmark):
+    config = build_system_for_notation("SS(1,16,4)", num_cores=4)
+    traces = generate_disjoint_workload(
+        SyntheticWorkloadConfig(
+            num_requests=400, address_range_size=4096, seed=7
+        ),
+        range(config.num_cores),
+    )
+    plain, plain_seconds = _best_of(lambda: simulate(config, traces))
+    sampled_config = dataclasses.replace(config, record_metrics=True)
+
+    def run_sampled():
+        return _best_of(lambda: simulate(sampled_config, traces))
+
+    sampled, sampled_seconds = benchmark.pedantic(
+        run_sampled, iterations=1, rounds=1
+    )
+    ratio = sampled_seconds / plain_seconds
+    emit(
+        f"unsampled: {plain_seconds:.2f}s   sampled: {sampled_seconds:.2f}s"
+        f"   overhead: {ratio:.2f}x"
+    )
+
+    # Passivity: sampling must not perturb the simulation.
+    assert sampled.makespan == plain.makespan
+    assert sampled.observed_wcl() == plain.observed_wcl()
+    # Disabled means disabled: the plain run carries no sampler output.
+    assert plain.metrics is None and sampled.metrics is not None
+
+    assert ratio < MAX_OVERHEAD, (
+        f"per-slot sampling costs {ratio:.2f}x wall clock "
+        f"(budget: < {MAX_OVERHEAD}x); SlotSampler.sample has regressed"
+    )

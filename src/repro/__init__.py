@@ -79,6 +79,7 @@ from repro.common.errors import (
     GeometryError,
     InvariantViolation,
     PartitionError,
+    ObservabilityError,
     ReproError,
     ScheduleError,
     SimulationError,
@@ -109,6 +110,16 @@ from repro.llc.partition import (
     PartitionSpec,
 )
 from repro.mem.address import AddressGeometry, AddressRange
+from repro.obs.collect import collect_metrics
+from repro.obs.exporters import write_metrics
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_all,
+)
+from repro.obs.tracing import JsonlTraceSink, trace_digest
 from repro.robustness.faults import (
     FaultInjector,
     FaultKind,
@@ -229,6 +240,7 @@ __all__ = [
     "ConfigurationError",
     "GeometryError",
     "InvariantViolation",
+    "ObservabilityError",
     "PartitionError",
     "ReproError",
     "ScheduleError",
@@ -239,6 +251,16 @@ __all__ = [
     "AccessType",
     "EntryState",
     "TransactionKind",
+    # observability
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonlTraceSink",
+    "MetricsRegistry",
+    "collect_metrics",
+    "merge_all",
+    "trace_digest",
+    "write_metrics",
     # components
     "PrivateStackConfig",
     "PartitionKind",

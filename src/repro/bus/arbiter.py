@@ -57,6 +57,10 @@ class PrbPwbArbiter:
         # is also the worst case for the requester that the analysis
         # assumes.
         self._preferred: TransactionKind = TransactionKind.WRITE_BACK
+        #: Slots where both a request and a write-back were pending and
+        #: the policy had to pick — the arbitration pressure the
+        #: Corollary 4.5 ``2k - 1`` drain bound is about.
+        self.contended_slots = 0
 
     def choose(
         self,
@@ -75,6 +79,7 @@ class PrbPwbArbiter:
         if has_writeback and not has_request:
             return TransactionKind.WRITE_BACK
 
+        self.contended_slots += 1
         if self.policy is ArbitrationPolicy.WRITEBACK_FIRST:
             return TransactionKind.WRITE_BACK
         if self.policy is ArbitrationPolicy.REQUEST_FIRST:

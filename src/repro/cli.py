@@ -14,6 +14,9 @@ Subcommands
 ``simulate``
     Run one configuration notation against a named workload suite and
     print (optionally export) the report.
+``stats``
+    Run one configuration and print its full metrics catalogue
+    (optionally exporting metrics and a JSONL event trace).
 ``workload``
     Materialise a named workload suite to trace files on disk.
 ``timeline``
@@ -42,6 +45,25 @@ from repro.llc.partition import PartitionNotation
 from repro.sim.config import PAPER_SLOT_WIDTH
 
 
+def _export_metrics(registry, path: str) -> int:
+    """Write ``registry`` to ``path`` (suffix picks the format).
+
+    Returns 0 on success, 2 on a bad path / unsupported suffix — the
+    argparse "usage error" exit code, with a clean one-line message
+    instead of a traceback.
+    """
+    from repro.common.errors import ObservabilityError
+    from repro.obs.exporters import write_metrics
+
+    try:
+        write_metrics(registry, path)
+    except ObservabilityError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"metrics written to {path}")
+    return 0
+
+
 def _cmd_fig7(args: argparse.Namespace) -> int:
     result = run_fig7(
         num_requests=args.requests,
@@ -49,8 +71,13 @@ def _cmd_fig7(args: argparse.Namespace) -> int:
         adversarial=args.adversarial,
         checked=args.checked,
         jobs=args.jobs,
+        with_metrics=bool(args.metrics),
     )
     print(result.render())
+    if args.metrics:
+        status = _export_metrics(result.metrics, args.metrics)
+        if status != 0:
+            return status
     if not result.all_complete():
         print(
             "ERROR: a simulation timed out or starved; its rows carry "
@@ -70,12 +97,15 @@ def _cmd_fig8(args: argparse.Namespace) -> int:
         num_requests=args.requests,
         seed=args.seed,
         jobs=args.jobs,
+        with_metrics=bool(args.metrics),
     )
     print(result.render())
     print(
         f"\naverage SS speedup vs P:   {result.average_speedup_vs_p():.2f}x"
         f"\naverage SS speedup vs NSS: {result.average_speedup_vs_nss():.2f}x"
     )
+    if args.metrics:
+        return _export_metrics(result.metrics, args.metrics)
     return 0
 
 
@@ -142,6 +172,19 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         config = dataclasses.replace(config, checked=True)
     suite = get_suite(args.suite)
     if args.seeds:
+        conflicting = [
+            flag
+            for flag, value in (("--json", args.json), ("--csv", args.csv))
+            if value
+        ]
+        if conflicting:
+            print(
+                f"error: {', '.join(conflicting)} cannot be combined with "
+                "--seeds: a sweep has no single report to export "
+                "(--metrics aggregates across seeds and is allowed)",
+                file=sys.stderr,
+            )
+            return 2
         return _simulate_sweep(args, config, suite)
     traces = suite.build(
         num_cores=args.cores,
@@ -181,6 +224,14 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     if args.csv:
         write_requests_csv(report, args.csv)
         print(f"per-request CSV written to {args.csv}")
+    if args.metrics:
+        from repro.obs.collect import collect_metrics
+
+        status = _export_metrics(
+            collect_metrics(report, config.slot_width), args.metrics
+        )
+        if status != 0:
+            return status
     if report.timed_out:
         print("WARNING: simulation hit the slot cap", file=sys.stderr)
         return 1
@@ -201,6 +252,7 @@ def _simulate_sweep(args: argparse.Namespace, config, suite) -> int:
         ),
         seeds=args.seeds,
         jobs=args.jobs,
+        with_metrics=bool(args.metrics),
     )
     print(
         render_table(
@@ -220,6 +272,8 @@ def _simulate_sweep(args: argparse.Namespace, config, suite) -> int:
         f"\nmean makespan:    {result.mean_makespan:.0f} cycles"
         f"\nWCL spread:       {result.wcl_spread} cycles"
     )
+    if args.metrics:
+        return _export_metrics(result.metrics, args.metrics)
     return 0
 
 
@@ -289,6 +343,47 @@ def _cmd_tightness(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from repro.experiments.configs import build_system_for_notation
+    from repro.obs.collect import collect_metrics
+    from repro.obs.exporters import render_metrics_table
+    from repro.obs.tracing import JsonlTraceSink
+    from repro.common.errors import ObservabilityError
+    from repro.sim.simulator import simulate
+    from repro.workloads.suites import get_suite
+
+    config = build_system_for_notation(args.notation, num_cores=args.cores)
+    if args.record_metrics:
+        config = dataclasses.replace(config, record_metrics=True)
+    traces = get_suite(args.suite).build(
+        num_cores=args.cores,
+        num_requests=args.requests,
+        address_range=args.range,
+        seed=args.seed,
+    )
+    sink = None
+    if args.trace:
+        try:
+            sink = JsonlTraceSink(args.trace)
+        except ObservabilityError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    try:
+        report = simulate(config, traces, event_sink=sink)
+    finally:
+        if sink is not None:
+            sink.close()
+    registry = collect_metrics(report, config.slot_width)
+    print(render_metrics_table(registry))
+    if args.trace:
+        print(f"\n{sink.emitted} events traced to {args.trace}")
+    if args.metrics:
+        return _export_metrics(registry, args.metrics)
+    return 0
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     from repro.experiments.compare import compare_notations
 
@@ -300,17 +395,24 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         address_range=args.range,
         seed=args.seed,
         jobs=args.jobs,
+        with_metrics=bool(args.metrics),
     )
     print(result.render())
     print(
         f"\nfastest: {result.fastest().notation}; "
         f"lowest observed WCL: {result.lowest_wcl().notation}"
     )
+    if args.metrics:
+        return _export_metrics(result.metrics, args.metrics)
     return 0
 
 
 def _cmd_all(args: argparse.Namespace) -> int:
-    from repro.robustness.runner import RetryPolicy, run_all_robust
+    from repro.robustness.runner import (
+        RetryPolicy,
+        campaign_metrics,
+        run_all_robust,
+    )
 
     result = run_all_robust(
         out_dir=args.out,
@@ -320,9 +422,14 @@ def _cmd_all(args: argparse.Namespace) -> int:
         resume=args.resume,
         jobs=args.jobs,
         progress=print,
+        with_metrics=bool(args.metrics),
     )
     print("\n" + result.summary())
     print(f"\nartifacts written to {args.out}/")
+    if args.metrics:
+        status = _export_metrics(campaign_metrics(result), args.metrics)
+        if status != 0:
+            return status
     if result.quarantined:
         names = ", ".join(outcome.name for outcome in result.quarantined)
         print(f"ERROR: quarantined tasks: {names}", file=sys.stderr)
@@ -359,10 +466,20 @@ def build_parser() -> argparse.ArgumentParser:
             "deterministically, so any value yields identical output",
         )
 
+    def add_metrics_arg(sub_parser: argparse.ArgumentParser) -> None:
+        sub_parser.add_argument(
+            "--metrics",
+            metavar="PATH",
+            help="export the run's metrics here; the suffix picks the "
+            "format (.jsonl, .csv or .prom — Prometheus text format); "
+            "output is byte-identical for any --jobs value",
+        )
+
     fig7 = sub.add_parser("fig7", help="reproduce Figure 7 (WCL)")
     fig7.add_argument("--requests", type=int, default=400)
     fig7.add_argument("--seed", type=int, default=2022)
     add_jobs_arg(fig7)
+    add_metrics_arg(fig7)
     fig7.add_argument(
         "--adversarial",
         action="store_true",
@@ -382,6 +499,7 @@ def build_parser() -> argparse.ArgumentParser:
     fig8.add_argument("--requests", type=int, default=2000)
     fig8.add_argument("--seed", type=int, default=2022)
     add_jobs_arg(fig8)
+    add_metrics_arg(fig8)
     fig8.set_defaults(func=_cmd_fig8)
 
     bounds = sub.add_parser("bounds", help="print analytical WCL bounds")
@@ -426,10 +544,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         nargs="+",
         help="sweep these workload seeds instead of a single --seed run "
-        "and report the WCL/makespan distribution (--json/--csv apply "
-        "to single runs only)",
+        "and report the WCL/makespan distribution (conflicts with "
+        "--json/--csv, which export a single run's report; --metrics "
+        "aggregates across seeds and is allowed)",
     )
     add_jobs_arg(simulate_cmd)
+    add_metrics_arg(simulate_cmd)
     simulate_cmd.add_argument("--json", help="write the aggregate report here")
     simulate_cmd.add_argument("--csv", help="write per-request records here")
     simulate_cmd.add_argument(
@@ -438,6 +558,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="run under the per-slot invariant monitor",
     )
     simulate_cmd.set_defaults(func=_cmd_simulate)
+
+    stats_cmd = sub.add_parser(
+        "stats",
+        help="run a notation and print its full metrics catalogue",
+    )
+    stats_cmd.add_argument("notation", nargs="?", default="SS(1,16,4)")
+    stats_cmd.add_argument("--suite", default="fig7")
+    add_workload_args(stats_cmd)
+    add_metrics_arg(stats_cmd)
+    stats_cmd.add_argument(
+        "--record-metrics",
+        action="store_true",
+        help="also run the per-slot occupancy sampler (PWB/PRB "
+        "occupancy and sequencer QLT-depth histograms over time)",
+    )
+    stats_cmd.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="stream every engine event to PATH as JSON lines while "
+        "the simulation runs (O(1) memory, any run length)",
+    )
+    stats_cmd.set_defaults(func=_cmd_stats)
 
     workload_cmd = sub.add_parser(
         "workload", help="dump a named workload suite to trace files"
@@ -494,6 +636,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="attempts per artifact for transient (host-level) failures",
     )
     add_jobs_arg(all_cmd)
+    add_metrics_arg(all_cmd)
     all_cmd.set_defaults(func=_cmd_all)
 
     compare_cmd = sub.add_parser(
@@ -505,6 +648,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare_cmd.add_argument("--suite", default="fig7")
     add_workload_args(compare_cmd)
     add_jobs_arg(compare_cmd)
+    add_metrics_arg(compare_cmd)
     compare_cmd.set_defaults(func=_cmd_compare)
     return parser
 

@@ -98,6 +98,15 @@ class TraceError(ReproError):
     """A memory trace is malformed or cannot be parsed."""
 
 
+class ObservabilityError(ReproError):
+    """A metrics/tracing request is malformed or cannot be served.
+
+    Covers mismatched merges (histograms of different bucket widths,
+    a counter merged into a gauge), relabeling that would alias two
+    series, and exporter paths with an unsupported format suffix.
+    """
+
+
 class AnalysisError(ReproError):
     """A worst-case latency analysis was asked an unanswerable question.
 

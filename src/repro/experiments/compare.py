@@ -11,7 +11,10 @@ and LLC behaviour in one table.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:
+    from repro.obs.metrics import MetricsRegistry
 
 from repro.analysis.verification import derive_core_bounds
 from repro.common.errors import ConfigurationError
@@ -48,6 +51,9 @@ class CompareResult:
 
     suite: str
     rows: List[CompareRow]
+    #: Merged per-notation metrics (``with_metrics=True`` only), every
+    #: series labelled ``config=<notation>``.
+    metrics: Optional["MetricsRegistry"] = None
 
     def row(self, notation: str) -> CompareRow:
         """Look one configuration up."""
@@ -98,12 +104,16 @@ def compare_notations(
     address_range: int = 4096,
     seed: int = 2022,
     jobs: int = 1,
+    with_metrics: bool = False,
 ) -> CompareResult:
     """Run every notation against the same suite-built traces.
 
     With ``jobs > 1`` the per-notation simulations run in worker
     processes; rows come back in the caller's notation order, so the
-    result equals a serial run.
+    result equals a serial run.  With ``with_metrics=True`` each
+    notation's report is distilled into a ``config``-labelled registry
+    inside its task (workers ship picklable registries, not reports)
+    and merged in notation order into ``result.metrics``.
     """
     from repro.sim.parallel import parallel_available, run_parallel
 
@@ -115,12 +125,14 @@ def compare_notations(
         seed=seed,
     )
 
-    def one_row(notation: str) -> CompareRow:
+    def one_row(
+        notation: str,
+    ) -> Tuple[CompareRow, Optional["MetricsRegistry"]]:
         config = build_system_for_notation(notation, num_cores=num_cores)
         report = simulate(config, traces)
         bounds = derive_core_bounds(config)
         finite = [b.cycles for b in bounds.values() if b.cycles is not None]
-        return CompareRow(
+        row = CompareRow(
             notation=notation,
             makespan=report.makespan,
             observed_wcl=report.observed_wcl(),
@@ -129,13 +141,29 @@ def compare_notations(
             dram_reads=report.dram_reads,
             dram_writes=report.dram_writes,
         )
+        registry = None
+        if with_metrics:
+            from repro.obs.collect import collect_metrics
+
+            registry = collect_metrics(report, config.slot_width).relabel(
+                config=notation
+            )
+        return row, registry
 
     if jobs > 1 and len(notations) > 1 and parallel_available():
         tasks = [
             (f"{index}-{notation}", lambda notation=notation: one_row(notation))
             for index, notation in enumerate(notations)
         ]
-        rows = run_parallel(tasks, jobs=jobs)
+        outcomes = run_parallel(tasks, jobs=jobs)
     else:
-        rows = [one_row(notation) for notation in notations]
-    return CompareResult(suite=suite, rows=rows)
+        outcomes = [one_row(notation) for notation in notations]
+    rows = [row for row, _ in outcomes]
+    metrics = None
+    if with_metrics:
+        from repro.obs.metrics import merge_all
+
+        metrics = merge_all(
+            [registry for _, registry in outcomes if registry is not None]
+        )
+    return CompareResult(suite=suite, rows=rows, metrics=metrics)

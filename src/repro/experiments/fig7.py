@@ -10,7 +10,10 @@ SS because distance can increase (Observation 3).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:
+    from repro.obs.metrics import MetricsRegistry
 
 from repro.analysis.wcl import analytical_wcl_cycles
 from repro.experiments.configs import (
@@ -73,6 +76,9 @@ class Fig7Result:
     """All rows of the Figure 7 reproduction."""
 
     rows: List[Fig7Row]
+    #: Merged per-cell metrics (``run_fig7(with_metrics=True)`` only),
+    #: every series labelled ``config=<notation>, range=<bytes>``.
+    metrics: Optional["MetricsRegistry"] = None
 
     def for_config(self, config: str) -> List[Fig7Row]:
         """Rows of one configuration, by address range."""
@@ -125,6 +131,7 @@ def run_fig7(
     adversarial: bool = False,
     checked: bool = False,
     jobs: int = 1,
+    with_metrics: bool = False,
 ) -> Fig7Result:
     """Run the full Figure 7 sweep.
 
@@ -151,6 +158,13 @@ def run_fig7(
     independent simulations runs in worker processes; rows come back in
     the same canonical (configuration, range) order, so the result is
     identical to a serial run.
+
+    With ``with_metrics=True`` each cell's report is distilled into a
+    :class:`~repro.obs.metrics.MetricsRegistry`
+    (:func:`repro.obs.collect.collect_metrics`), relabelled with its
+    ``config``/``range`` and merged into ``result.metrics``.  Cells are
+    collected from the canonically ordered reports in the parent
+    process, so ``--jobs N`` metrics are bit-identical to serial.
     """
     import dataclasses
 
@@ -204,7 +218,22 @@ def run_fig7(
             cells, reports
         )
     ]
-    return Fig7Result(rows=rows)
+    metrics = None
+    if with_metrics:
+        from repro.obs.collect import collect_metrics
+        from repro.obs.metrics import merge_all
+
+        metrics = merge_all(
+            [
+                collect_metrics(report, config.slot_width).relabel(
+                    config=notation_text, range=address_range
+                )
+                for (notation_text, config, _, address_range, _), report in zip(
+                    cells, reports
+                )
+            ]
+        )
+    return Fig7Result(rows=rows, metrics=metrics)
 
 
 def _adversarial_system(notation: PartitionNotation):

@@ -29,7 +29,10 @@ leave shareable headroom, exactly the deployments Section 1 argues for.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:
+    from repro.obs.metrics import MetricsRegistry
 
 from repro.common.types import CoreId
 from repro.experiments.configs import fig8_system
@@ -88,6 +91,9 @@ class Fig8Result:
     num_cores: int
     capacity_bytes: int
     rows: List[Fig8Row]
+    #: Merged per-cell metrics (``run_fig8(with_metrics=True)`` only),
+    #: every series labelled ``config``/``range``/``subfigure``.
+    metrics: Optional["MetricsRegistry"] = None
 
     @property
     def per_core_private_bytes(self) -> int:
@@ -187,17 +193,29 @@ def _run_cell(
     address_range: int,
     num_requests: int,
     seed: int,
-) -> int:
-    """One (range, configuration) cell: the configuration's makespan.
+    with_metrics: bool = False,
+) -> Tuple[int, Optional["MetricsRegistry"]]:
+    """One (range, configuration) cell: makespan plus optional metrics.
 
     Traces are rebuilt from the seed inside the cell, so a cell is
     self-contained (parallel workers need no shared state) yet replays
     byte-identical addresses — the workload depends only on seed and
-    range, never on the configuration.
+    range, never on the configuration.  With ``with_metrics=True`` the
+    cell also distils its report into a relabelled registry (collected
+    *inside* the cell so parallel workers ship plain picklable data,
+    not the report).
     """
     traces = graded_workload(num_cores, address_range, num_requests, seed)
     config = fig8_system(kind, num_cores, capacity, seed=seed)
-    return simulate(config, traces).makespan
+    report = simulate(config, traces)
+    if not with_metrics:
+        return report.makespan, None
+    from repro.obs.collect import collect_metrics
+
+    registry = collect_metrics(report, config.slot_width).relabel(
+        config=kind.name, range=address_range
+    )
+    return report.makespan, registry
 
 
 def run_fig8(
@@ -206,13 +224,17 @@ def run_fig8(
     num_requests: int = 2000,
     seed: int = 2022,
     jobs: int = 1,
+    with_metrics: bool = False,
 ) -> Fig8Result:
     """Run one sub-figure (``"8a"`` .. ``"8d"``).
 
     With ``jobs > 1`` the range × configuration grid runs in worker
     processes (:mod:`repro.sim.parallel`); rows are assembled in
     canonical (range, SS/NSS/P) order either way, so the result is
-    identical to a serial run.
+    identical to a serial run.  With ``with_metrics=True`` each cell
+    returns a relabelled registry alongside its makespan; the cells
+    merge in canonical order into ``result.metrics``, so parallel
+    metrics are bit-identical to serial too.
     """
     from repro.sim.parallel import parallel_available, run_parallel
 
@@ -231,19 +253,39 @@ def run_fig8(
             (
                 f"range-{address_range}/{kind.name}",
                 lambda address_range=address_range, kind=kind: _run_cell(
-                    kind, num_cores, capacity, address_range, num_requests, seed
+                    kind,
+                    num_cores,
+                    capacity,
+                    address_range,
+                    num_requests,
+                    seed,
+                    with_metrics,
                 ),
             )
             for address_range, kind in cells
         ]
-        makespans = run_parallel(tasks, jobs=jobs)
+        outcomes = run_parallel(tasks, jobs=jobs)
     else:
-        makespans = [
+        outcomes = [
             _run_cell(
-                kind, num_cores, capacity, address_range, num_requests, seed
+                kind,
+                num_cores,
+                capacity,
+                address_range,
+                num_requests,
+                seed,
+                with_metrics,
             )
             for address_range, kind in cells
         ]
+    makespans = [makespan for makespan, _ in outcomes]
+    metrics = None
+    if with_metrics:
+        from repro.obs.metrics import merge_all
+
+        metrics = merge_all(
+            [registry for _, registry in outcomes if registry is not None]
+        ).relabel(subfigure=subfigure)
     cycles_by_cell: Dict[tuple, int] = {
         cell: makespan for cell, makespan in zip(cells, makespans)
     }
@@ -264,4 +306,5 @@ def run_fig8(
         num_cores=num_cores,
         capacity_bytes=capacity,
         rows=rows,
+        metrics=metrics,
     )

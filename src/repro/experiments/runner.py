@@ -12,7 +12,10 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple, Union
+
+if TYPE_CHECKING:
+    from repro.obs.metrics import MetricsRegistry
 
 from repro.analysis.unbounded import starvation_witness
 from repro.analysis.wcl import (
@@ -35,6 +38,9 @@ class ArtifactResult:
     name: str
     table: str
     checks: Dict[str, bool]
+    #: The artifact's metrics (``with_metrics=True`` figure artifacts
+    #: only), every series labelled ``artifact=<name>``.
+    metrics: Optional["MetricsRegistry"] = None
 
     @property
     def passed(self) -> bool:
@@ -52,6 +58,23 @@ class RunAllResult:
     def all_passed(self) -> bool:
         """Whether every artifact's checks held."""
         return all(artifact.passed for artifact in self.artifacts)
+
+    def merged_metrics(self) -> "MetricsRegistry":
+        """All artifacts' metrics in one registry (artifact order).
+
+        Per-artifact registries are disjoint (each is
+        ``artifact``-labelled), so the merge is a pure union and any
+        merge order yields identical rows.
+        """
+        from repro.obs.metrics import merge_all
+
+        return merge_all(
+            [
+                artifact.metrics
+                for artifact in self.artifacts
+                if artifact.metrics is not None
+            ]
+        )
 
     def summary(self) -> str:
         """One line per artifact."""
@@ -89,10 +112,18 @@ def _constants_artifact() -> ArtifactResult:
     )
 
 
-def _fig7_artifact(num_requests: int, jobs: int = 1) -> ArtifactResult:
-    result = run_fig7(num_requests=num_requests, jobs=jobs)
+def _fig7_artifact(
+    num_requests: int, jobs: int = 1, with_metrics: bool = False
+) -> ArtifactResult:
+    result = run_fig7(num_requests=num_requests, jobs=jobs, with_metrics=with_metrics)
+    metrics = (
+        result.metrics.relabel(artifact="figure-7")
+        if result.metrics is not None
+        else None
+    )
     return ArtifactResult(
         name="figure-7",
+        metrics=metrics,
         table=result.render(),
         checks={
             # all_within_bounds is False for broken (timed-out/starved)
@@ -108,8 +139,15 @@ def _fig7_artifact(num_requests: int, jobs: int = 1) -> ArtifactResult:
     )
 
 
-def _fig8_artifact(subfigure: str, num_requests: int, jobs: int = 1) -> ArtifactResult:
-    result = run_fig8(subfigure, num_requests=num_requests, jobs=jobs)
+def _fig8_artifact(
+    subfigure: str,
+    num_requests: int,
+    jobs: int = 1,
+    with_metrics: bool = False,
+) -> ArtifactResult:
+    result = run_fig8(
+        subfigure, num_requests=num_requests, jobs=jobs, with_metrics=with_metrics
+    )
     ties = all(
         row.ss_cycles == row.nss_cycles == row.p_cycles
         for row in result.rows_with_fit()
@@ -120,8 +158,14 @@ def _fig8_artifact(subfigure: str, num_requests: int, jobs: int = 1) -> Artifact
     # full trace length).
     wins = all(row.ss_speedup_vs_p >= 0.95 for row in result.rows_exceeding())
     average_wins = result.average_speedup_vs_p() > 1.0
+    metrics = (
+        result.metrics.relabel(artifact=f"figure-{subfigure}")
+        if result.metrics is not None
+        else None
+    )
     return ArtifactResult(
         name=f"figure-{subfigure}",
+        metrics=metrics,
         table=result.render()
         + f"\n\naverage SS speedup vs P: {result.average_speedup_vs_p():.2f}x",
         checks={
@@ -190,6 +234,7 @@ def artifact_steps(
     num_requests: int = 300,
     tightness_repeats: int = 25,
     jobs: int = 1,
+    with_metrics: bool = False,
 ) -> List[Tuple[str, Callable[[], ArtifactResult]]]:
     """Every reproduction artifact as a ``(name, thunk)`` pair.
 
@@ -205,10 +250,13 @@ def artifact_steps(
     """
     steps: List[Tuple[str, Callable[[], ArtifactResult]]] = [
         ("section-5.1-constants", _constants_artifact),
-        ("figure-7", lambda: _fig7_artifact(num_requests, jobs)),
+        ("figure-7", lambda: _fig7_artifact(num_requests, jobs, with_metrics)),
     ]
     steps.extend(
-        (f"figure-{sub}", lambda sub=sub: _fig8_artifact(sub, num_requests, jobs))
+        (
+            f"figure-{sub}",
+            lambda sub=sub: _fig8_artifact(sub, num_requests, jobs, with_metrics),
+        )
         for sub in sorted(SUBFIGURES)
     )
     steps.extend(
@@ -227,6 +275,7 @@ def run_all(
     tightness_repeats: int = 25,
     jobs: int = 1,
     progress: Optional[Callable[[str], None]] = None,
+    with_metrics: bool = False,
 ) -> RunAllResult:
     """Regenerate every artifact; optionally write them to ``out_dir``.
 
@@ -238,7 +287,9 @@ def run_all(
     artifact (the artifacts themselves run in order).
     """
     result = RunAllResult()
-    for _, step in artifact_steps(num_requests, tightness_repeats, jobs):
+    for _, step in artifact_steps(
+        num_requests, tightness_repeats, jobs, with_metrics
+    ):
         artifact = step()
         if progress is not None:
             progress(f"{artifact.name}: {'PASS' if artifact.passed else 'FAIL'}")

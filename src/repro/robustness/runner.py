@@ -608,6 +608,7 @@ def run_all_robust(
     resume: bool = True,
     jobs: int = 1,
     progress: Optional[Callable[[str], None]] = None,
+    with_metrics: bool = False,
 ) -> CampaignResult:
     """Crash-tolerant ``run_all``: every artifact as a quarantinable task.
 
@@ -622,6 +623,12 @@ def run_all_robust(
     (the artifacts themselves stay serial inside each worker, so the
     process tree never over-commits); results, summaries and the
     manifest are identical to a serial campaign's.
+
+    With ``with_metrics=True`` the figure artifacts carry their
+    ``artifact``-labelled metrics registries on the returned outcomes
+    (``outcome.result.metrics``) — merge them with
+    :func:`campaign_metrics`.  Only artifacts that *ran this
+    invocation* carry metrics: a resumed-skip outcome has no result.
     """
     from repro.experiments.runner import artifact_steps
 
@@ -644,7 +651,9 @@ def run_all_robust(
 
     tasks: List[Task] = [
         (name, wrap(step))
-        for name, step in artifact_steps(num_requests, tightness_repeats)
+        for name, step in artifact_steps(
+            num_requests, tightness_repeats, with_metrics=with_metrics
+        )
     ]
     runner = CampaignRunner(
         manifest_path=manifest_path, timeout=timeout, retry=retry, jobs=jobs
@@ -674,6 +683,27 @@ def run_all_robust(
             )
         (target / "SUMMARY.txt").write_text("\n".join(lines) + "\n")
     return result
+
+
+def campaign_metrics(result: CampaignResult) -> "Any":
+    """Merge the metrics of every completed artifact in ``result``.
+
+    Outcomes are walked in campaign (canonical task) order; because the
+    per-artifact registries are ``artifact``-labelled and therefore
+    disjoint, any order yields the same rows.  Returns an empty
+    registry when no outcome carries metrics (e.g. a fully resumed
+    campaign, whose skipped tasks have no in-process result).
+    """
+    from repro.obs.metrics import merge_all
+
+    return merge_all(
+        [
+            outcome.result.metrics
+            for outcome in result.outcomes
+            if outcome.status == "done"
+            and getattr(outcome.result, "metrics", None) is not None
+        ]
+    )
 
 
 @dataclass

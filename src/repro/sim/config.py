@@ -82,6 +82,14 @@ class SystemConfig:
     #: ``benchmarks/test_bench_checked_overhead.py``), and the post-run
     #: inclusivity check still always runs.
     checked: bool = False
+    #: Metrics mode: install the per-slot occupancy sampler
+    #: (:mod:`repro.obs.recorder`) on the engine, so the report carries
+    #: PWB/PRB occupancy and sequencer QLT-depth histograms over time
+    #: in addition to the always-on counters.  Off by default: the
+    #: sampler touches every buffer once per slot (see
+    #: ``benchmarks/test_bench_metrics_overhead.py`` for the ≤ 15%
+    #: budget); disabled runs pay a single ``is None`` test per slot.
+    record_metrics: bool = False
     #: Whether a dirty victim owned by the *requesting* core is written
     #: back within the same slot (the requester already holds the bus,
     #: so the victim data can ride along with its request).  True makes

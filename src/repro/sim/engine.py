@@ -70,6 +70,13 @@ class SlotEngine:
         # the (hot-path) SimEvent construction is skipped entirely when
         # recording is off — the log would drop it anyway.
         self._events_on = self.config.record_events
+        # Per-slot occupancy sampler; lazily imported so repro.sim has
+        # no hard dependency on repro.obs (which imports sim.report).
+        self._sampler = None
+        if self.config.record_metrics:
+            from repro.obs.recorder import SlotSampler
+
+            self._sampler = SlotSampler(system)
         self._completed: List[PendingRequest] = []
         self._slot: SlotIndex = 0
         self._finished_cores: set[CoreId] = set()
@@ -90,6 +97,15 @@ class SlotEngine:
     def add_post_slot_hook(self, hook: PostSlotHook) -> None:
         """Run ``hook(engine, slot, slot_start)`` after each slot."""
         self._post_slot_hooks.append(hook)
+
+    def attach_event_sink(self, sink: Callable[[SimEvent], None]) -> None:
+        """Stream every event to ``sink`` (e.g. a JSONL trace file).
+
+        Turns event *emission* on even when ``record_events`` is false,
+        so a long campaign can trace to disk without the in-memory log.
+        """
+        self.events.attach_sink(sink)
+        self._events_on = True
 
     # ------------------------------------------------------------------
     # Top level
@@ -120,6 +136,8 @@ class SlotEngine:
             if self._post_slot_hooks:
                 for hook in self._post_slot_hooks:
                     hook(self, self._slot, slot_start)
+            if self._sampler is not None:
+                self._sampler.sample()
             self._slot += 1
         return build_report(
             system=self.system,
@@ -128,6 +146,7 @@ class SlotEngine:
             timed_out=timed_out,
             events=self.events,
             slot_usage=self._slot_usage,
+            metrics=self._sampler.registry() if self._sampler else None,
         )
 
     def _finished(self) -> bool:

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional
+from typing import Callable, Dict, Iterator, List, Optional
 
 from repro.common.types import BlockAddress, CoreId, Cycle, SlotIndex
 
@@ -63,11 +63,20 @@ class SimEvent:
 
 
 class EventLog:
-    """Append-only event container with query helpers for tests."""
+    """Append-only event container with query helpers for tests.
+
+    Besides in-memory recording (``enabled``), the log supports
+    streaming **sinks**: callables receiving every appended event as it
+    happens (:class:`repro.obs.tracing.JsonlTraceSink` is the standard
+    one).  Sinks fire even when in-memory recording is disabled, which
+    is how long campaigns trace to disk without the ``O(events)``
+    memory footprint.
+    """
 
     def __init__(self, enabled: bool = True) -> None:
         self.enabled = enabled
         self._events: List[SimEvent] = []
+        self._sinks: List[Callable[[SimEvent], None]] = []
 
     def __len__(self) -> int:
         return len(self._events)
@@ -75,10 +84,21 @@ class EventLog:
     def __iter__(self) -> Iterator[SimEvent]:
         return iter(self._events)
 
+    @property
+    def active(self) -> bool:
+        """Whether appended events go anywhere (storage or a sink)."""
+        return self.enabled or bool(self._sinks)
+
+    def attach_sink(self, sink: Callable[[SimEvent], None]) -> None:
+        """Stream every future event to ``sink`` (storage unaffected)."""
+        self._sinks.append(sink)
+
     def append(self, event: SimEvent) -> None:
-        """Record an event (no-op when disabled)."""
+        """Record an event (no-op when disabled and no sink attached)."""
         if self.enabled:
             self._events.append(event)
+        for sink in self._sinks:
+            sink(event)
 
     def all(self) -> List[SimEvent]:
         """All recorded events, in order."""

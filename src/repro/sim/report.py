@@ -18,6 +18,7 @@ from repro.common.types import BlockAddress, CoreId, Cycle
 from repro.sim.events import EventLog
 
 if TYPE_CHECKING:
+    from repro.obs.metrics import MetricsRegistry
     from repro.sim.system import System
 
 
@@ -89,7 +90,14 @@ class SimReport:
     #: Per core: how many of its bus slots went to requests,
     #: write-backs, or passed idle.
     slot_usage: Dict[CoreId, Dict[str, int]] = field(default_factory=dict)
+    #: Per core: slots where PRB *and* PWB both had work and the
+    #: arbiter had to pick (Corollary 4.5 pressure).
+    arbiter_contended: Dict[CoreId, int] = field(default_factory=dict)
     events: EventLog = field(default_factory=lambda: EventLog(enabled=False))
+    #: Per-slot sampler output (``record_metrics=True`` runs only);
+    #: merged into the derived catalogue by
+    #: :func:`repro.obs.collect.collect_metrics`.
+    metrics: Optional["MetricsRegistry"] = None
 
     # ------------------------------------------------------------------
     # Convenience queries
@@ -173,6 +181,7 @@ def build_report(
     timed_out: bool,
     events: EventLog,
     slot_usage: Optional[Dict[CoreId, Dict[str, int]]] = None,
+    metrics: Optional["MetricsRegistry"] = None,
 ) -> SimReport:
     """Assemble the report from a finished (or stopped) engine run."""
     records: List[RequestRecord] = []
@@ -228,5 +237,10 @@ def build_report(
         dram_reads=system.dram.stats.reads,
         dram_writes=system.dram.stats.writes,
         slot_usage=dict(slot_usage or {}),
+        arbiter_contended={
+            core_id: arbiter.contended_slots
+            for core_id, arbiter in system.arbiters.items()
+        },
         events=events,
+        metrics=metrics,
     )

@@ -10,11 +10,12 @@ harnesses) go through::
 
 from __future__ import annotations
 
-from typing import Mapping, Optional
+from typing import Callable, Mapping, Optional
 
 from repro.common.types import CoreId, Cycle
 from repro.sim.config import SystemConfig
 from repro.sim.engine import SlotEngine
+from repro.sim.events import SimEvent
 from repro.sim.report import SimReport
 from repro.sim.system import System
 from repro.workloads.trace import MemoryTrace
@@ -33,10 +34,13 @@ class Simulator:
         config: SystemConfig,
         traces: Mapping[CoreId, MemoryTrace],
         start_cycles: Optional[Mapping[CoreId, Cycle]] = None,
+        event_sink: Optional[Callable[[SimEvent], None]] = None,
     ) -> None:
         self.config = config
         self.system = System(config, traces, start_cycles)
         self.engine = SlotEngine(self.system)
+        if event_sink is not None:
+            self.engine.attach_event_sink(event_sink)
         self.monitor = None
         if config.checked:
             # Imported lazily: repro.robustness imports the sim layer.
@@ -56,11 +60,15 @@ def simulate(
     config: SystemConfig,
     traces: Mapping[CoreId, MemoryTrace],
     start_cycles: Optional[Mapping[CoreId, Cycle]] = None,
+    event_sink: Optional[Callable[[SimEvent], None]] = None,
 ) -> SimReport:
     """Build the system described by ``config``, replay ``traces``.
 
     ``start_cycles`` optionally delays a core's first access — used by
     scripted scenarios that need a precise initial cache state (e.g. the
     Section 4.1 witness fills the set before the victim's request).
+    ``event_sink`` streams every engine event as it happens (see
+    :class:`repro.obs.tracing.JsonlTraceSink`), independent of
+    ``record_events``.
     """
-    return Simulator(config, traces, start_cycles).run()
+    return Simulator(config, traces, start_cycles, event_sink).run()

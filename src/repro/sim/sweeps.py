@@ -9,10 +9,21 @@ and a reportable number.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+)
 
 from repro.common.errors import ConfigurationError, SimulationError
+
+if TYPE_CHECKING:
+    from repro.obs.metrics import MetricsRegistry
 from repro.common.types import CoreId, Cycle
 from repro.common.validation import require
 from repro.sim.config import SystemConfig
@@ -31,6 +42,10 @@ class SweepResult:
     seeds: tuple
     observed_wcls: tuple
     makespans: tuple
+    #: Merged per-seed metrics (``sweep_seeds(with_metrics=True)``
+    #: only), every series labelled ``seed=<seed>``.  Excluded from
+    #: equality: two sweeps are "the same sweep" by their aggregates.
+    metrics: Optional["MetricsRegistry"] = field(default=None, compare=False)
 
     @property
     def max_observed_wcl(self) -> Cycle:
@@ -126,20 +141,36 @@ def sweep_seeds(
     seeds: Sequence[int],
     check: Optional[Callable[[SimReport], None]] = None,
     jobs: int = 1,
+    with_metrics: bool = False,
 ) -> SweepResult:
     """Run ``config`` once per seed; optionally verify each report.
 
     With ``jobs > 1`` the per-seed simulations run in worker processes
     (:mod:`repro.sim.parallel`); results are aggregated in canonical
     seed order, so the returned :class:`SweepResult` is bit-identical
-    to the serial one.
+    to the serial one.  With ``with_metrics=True`` each seed's report
+    is distilled into a ``seed``-labelled registry and merged in seed
+    order into ``result.metrics`` — the same canonical-order merge, so
+    parallel metrics equal serial metrics byte for byte.
     """
     require(bool(seeds), "sweep needs at least one seed", ConfigurationError)
     reports = _sweep_reports(config, trace_factory, seeds, check, jobs)
+    metrics = None
+    if with_metrics:
+        from repro.obs.collect import collect_metrics
+        from repro.obs.metrics import merge_all
+
+        metrics = merge_all(
+            [
+                collect_metrics(report, config.slot_width).relabel(seed=seed)
+                for seed, report in zip(seeds, reports)
+            ]
+        )
     return SweepResult(
         seeds=tuple(seeds),
         observed_wcls=tuple(report.observed_wcl() for report in reports),
         makespans=tuple(report.makespan for report in reports),
+        metrics=metrics,
     )
 
 

@@ -1,0 +1,32 @@
+"""Regenerate the golden-trace fixtures.
+
+Run only after an intentional change to the simulator's event stream,
+the trace encoding, the metric catalogue or the JSONL exporter — and
+review the diff before committing::
+
+    PYTHONPATH=src:tests python tests/golden/regen.py
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from golden_scenarios import SCENARIOS, fixture_paths, run_scenario  # noqa: E402
+
+
+def main() -> None:
+    for name in sorted(SCENARIOS):
+        trace_bytes, metrics_bytes = run_scenario(name)
+        trace_path, metrics_path = fixture_paths(name)
+        trace_path.parent.mkdir(parents=True, exist_ok=True)
+        trace_path.write_bytes(trace_bytes)
+        metrics_path.write_bytes(metrics_bytes)
+        print(
+            f"{name}: {len(trace_bytes.splitlines())} events, "
+            f"{len(metrics_bytes.splitlines())} metric series"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""The golden-trace scenarios: pinned runs of the paper's configurations.
+
+Each scenario is a fully deterministic simulation — paper configuration,
+synthetic workload, fixed seed — rendered to its two canonical byte
+forms: the JSONL event trace and the JSONL metrics export.  The
+committed fixtures under ``tests/golden/`` pin those bytes; the
+regression test re-runs every scenario and compares byte-for-byte, so
+any change to simulator ordering, event encoding, metric catalogue or
+exporter formatting shows up as a fixture diff instead of silently
+shifting downstream results.
+
+Regenerate fixtures after an *intentional* change with::
+
+    PYTHONPATH=src:tests python tests/golden/regen.py
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Tuple
+
+from repro.experiments.configs import build_system_for_notation
+from repro.obs.collect import collect_metrics
+from repro.obs.exporters import metrics_to_jsonl
+from repro.obs.tracing import trace_to_jsonl_bytes
+from repro.sim.simulator import simulate
+from repro.workloads.synthetic import (
+    SyntheticWorkloadConfig,
+    generate_disjoint_workload,
+)
+
+#: Where the committed fixtures live.
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: The paper's evaluation seed, reused for the golden workloads.
+GOLDEN_SEED = 2022
+
+#: Scenario name → (notation, cores, address_range_size, num_requests).
+#: One shared-sequencer configuration (the Figure 7 centrepiece), one
+#: non-sequencer sharing and one fully private carving (the Figure 8
+#: extremes), so the fixtures cover every event kind the engine emits.
+SCENARIOS: Dict[str, Tuple[str, int, int, int]] = {
+    "fig7-ss": ("SS(1,16,4)", 4, 2048, 30),
+    "fig8-nss": ("NSS(1,16,2)", 2, 1024, 30),
+    "fig8-private": ("P(1,16)", 4, 2048, 30),
+}
+
+
+def run_scenario(name: str) -> Tuple[bytes, bytes]:
+    """One scenario's canonical ``(trace_bytes, metrics_bytes)``."""
+    notation, cores, range_size, num_requests = SCENARIOS[name]
+    config = build_system_for_notation(
+        notation, num_cores=cores, record_events=True
+    )
+    workload = SyntheticWorkloadConfig(
+        num_requests=num_requests,
+        address_range_size=range_size,
+        seed=GOLDEN_SEED,
+    )
+    traces = generate_disjoint_workload(workload, range(cores))
+    report = simulate(config, traces)
+    trace_bytes = trace_to_jsonl_bytes(report.events.all())
+    metrics = collect_metrics(report, config.slot_width)
+    return trace_bytes, metrics_to_jsonl(metrics).encode()
+
+
+def fixture_paths(name: str) -> Tuple[Path, Path]:
+    """The committed fixture files of one scenario."""
+    return (
+        GOLDEN_DIR / f"{name}.trace.jsonl",
+        GOLDEN_DIR / f"{name}.metrics.jsonl",
+    )

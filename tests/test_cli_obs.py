@@ -1,0 +1,120 @@
+"""CLI observability tests: stats subcommand, --metrics flag, error paths."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestStatsCommand:
+    def test_prints_metric_table(self, capsys):
+        assert main(["stats", "--requests", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "sim.slots.total" in out
+        assert "core.latency{" in out
+        assert "llc.hit_rate" in out
+
+    def test_metrics_export(self, tmp_path, capsys):
+        target = tmp_path / "metrics.jsonl"
+        assert main(
+            ["stats", "P(1,16)", "--requests", "40", "--metrics", str(target)]
+        ) == 0
+        rows = [json.loads(line) for line in target.read_text().splitlines()]
+        assert any(row["name"] == "sim.slots.total" for row in rows)
+        assert f"metrics written to {target}" in capsys.readouterr().out
+
+    def test_trace_export(self, tmp_path, capsys):
+        target = tmp_path / "trace.jsonl"
+        assert main(
+            ["stats", "--requests", "40", "--trace", str(target)]
+        ) == 0
+        lines = target.read_text().splitlines()
+        assert lines, "trace file is empty"
+        assert json.loads(lines[0])["kind"]
+        assert f"{len(lines)} events traced to {target}" in capsys.readouterr().out
+
+    def test_record_metrics_adds_occupancy_series(self, capsys):
+        assert main(["stats", "--requests", "40", "--record-metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "pwb.occupancy{" in out
+        assert "prb.occupancy{" in out
+
+    def test_bad_trace_path_is_a_usage_error(self, tmp_path, capsys):
+        target = tmp_path / "missing" / "trace.jsonl"
+        assert main(["stats", "--requests", "40", "--trace", str(target)]) == 2
+        assert "cannot open trace sink" in capsys.readouterr().err
+
+
+class TestMetricsFlag:
+    def test_simulate_single_run_metrics(self, tmp_path):
+        target = tmp_path / "m.csv"
+        assert main([
+            "simulate", "P(1,16)", "--suite", "fig7",
+            "--requests", "40", "--metrics", str(target),
+        ]) == 0
+        assert target.read_text().startswith("name,labels,type,field,value")
+
+    def test_simulate_sweep_metrics_aggregate_by_seed(self, tmp_path):
+        target = tmp_path / "m.jsonl"
+        assert main([
+            "simulate", "P(1,16)", "--suite", "fig7", "--requests", "30",
+            "--seeds", "1", "2", "--metrics", str(target),
+        ]) == 0
+        rows = [json.loads(line) for line in target.read_text().splitlines()]
+        seeds = {row["labels"].get("seed") for row in rows}
+        assert seeds == {"1", "2"}
+
+    def test_fig7_metrics_prometheus(self, tmp_path):
+        target = tmp_path / "m.prom"
+        assert main(["fig7", "--requests", "40", "--metrics", str(target)]) == 0
+        text = target.read_text()
+        assert "# TYPE repro_core_latency histogram" in text
+        assert 'config="SS(1,16,4)"' in text
+
+    def test_compare_metrics(self, tmp_path):
+        target = tmp_path / "m.jsonl"
+        assert main([
+            "compare", "SS(1,16,4)", "P(1,16)",
+            "--requests", "30", "--metrics", str(target),
+        ]) == 0
+        rows = [json.loads(line) for line in target.read_text().splitlines()]
+        configs = {row["labels"].get("config") for row in rows}
+        assert configs == {"SS(1,16,4)", "P(1,16)"}
+
+
+class TestErrorPaths:
+    def test_unsupported_suffix_is_a_usage_error(self, tmp_path, capsys):
+        assert main([
+            "simulate", "P(1,16)", "--suite", "fig7",
+            "--requests", "30", "--metrics", str(tmp_path / "m.xyz"),
+        ]) == 2
+        assert "unsupported metrics format" in capsys.readouterr().err
+
+    def test_missing_parent_dir_is_a_usage_error(self, tmp_path, capsys):
+        assert main([
+            "simulate", "P(1,16)", "--suite", "fig7", "--requests", "30",
+            "--metrics", str(tmp_path / "no" / "m.jsonl"),
+        ]) == 2
+        assert "cannot write metrics" in capsys.readouterr().err
+
+    def test_seeds_conflict_with_json_export(self, tmp_path, capsys):
+        assert main([
+            "simulate", "P(1,16)", "--suite", "fig7", "--requests", "30",
+            "--seeds", "1", "2", "--json", str(tmp_path / "r.json"),
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "--json" in err and "--seeds" in err
+
+    def test_seeds_conflict_with_csv_export(self, tmp_path, capsys):
+        assert main([
+            "simulate", "P(1,16)", "--suite", "fig7", "--requests", "30",
+            "--seeds", "1", "--csv", str(tmp_path / "r.csv"),
+        ]) == 2
+        assert "--csv" in capsys.readouterr().err
+
+    def test_empty_seed_sweep_is_a_usage_error(self):
+        # nargs="+" makes a bare --seeds an argparse usage error.
+        with pytest.raises(SystemExit) as excinfo:
+            main(["simulate", "P(1,16)", "--seeds"])
+        assert excinfo.value.code == 2

@@ -1,0 +1,85 @@
+"""Golden-trace regression suite: byte-stable traces and metrics.
+
+Every scenario in :mod:`golden_scenarios` re-runs here and must
+reproduce its committed fixture byte-for-byte.  A failure means the
+simulator's observable behaviour (event stream, trace encoding, metric
+catalogue or exporter formatting) changed; if the change is
+intentional, regenerate with::
+
+    PYTHONPATH=src:tests python tests/golden/regen.py
+
+and commit the reviewed fixture diff.
+"""
+
+import hashlib
+import json
+
+import pytest
+
+from golden_scenarios import SCENARIOS, fixture_paths, run_scenario
+
+from repro.obs.tracing import TRACE_SCHEMA_VERSION
+
+
+@pytest.fixture(scope="module")
+def scenario_bytes():
+    """Each scenario simulated once, shared by the per-aspect tests."""
+    return {name: run_scenario(name) for name in sorted(SCENARIOS)}
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_trace_matches_fixture(name, scenario_bytes):
+    trace_path, _ = fixture_paths(name)
+    assert trace_path.exists(), (
+        f"missing fixture {trace_path}; run tests/golden/regen.py"
+    )
+    trace_bytes, _ = scenario_bytes[name]
+    expected = trace_path.read_bytes()
+    if trace_bytes != expected:
+        ours = hashlib.sha256(trace_bytes).hexdigest()[:12]
+        theirs = hashlib.sha256(expected).hexdigest()[:12]
+        pytest.fail(
+            f"{name}: event trace drifted from fixture "
+            f"(sha256 {ours} != {theirs}); if intentional, regenerate "
+            "with tests/golden/regen.py and review the diff"
+        )
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_metrics_match_fixture(name, scenario_bytes):
+    _, metrics_path = fixture_paths(name)
+    assert metrics_path.exists(), (
+        f"missing fixture {metrics_path}; run tests/golden/regen.py"
+    )
+    _, metrics_bytes = scenario_bytes[name]
+    assert metrics_bytes == metrics_path.read_bytes(), (
+        f"{name}: metrics export drifted from fixture; if intentional, "
+        "regenerate with tests/golden/regen.py and review the diff"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_fixture_is_valid_jsonl(name):
+    """Fixtures themselves stay parseable (guards hand-edits)."""
+    trace_path, metrics_path = fixture_paths(name)
+    for path in (trace_path, metrics_path):
+        for line in path.read_text().splitlines():
+            row = json.loads(line)
+            assert isinstance(row, dict)
+
+
+def test_trace_schema_version_is_pinned():
+    """Bumping the schema must come with regenerated fixtures.
+
+    The fixtures encode schema version 1 layouts; this assertion makes
+    a version bump fail loudly here (next to the regeneration
+    instructions) rather than deep inside a byte comparison.
+    """
+    assert TRACE_SCHEMA_VERSION == 1
+
+
+def test_run_scenario_is_deterministic():
+    """Two in-process runs of one scenario agree — the fixture premise."""
+    first = run_scenario("fig8-nss")
+    second = run_scenario("fig8-nss")
+    assert first == second

@@ -1,0 +1,136 @@
+"""Catalogue tests: collect_metrics coverage and the live sampler."""
+
+import dataclasses
+
+from sim_helpers import small_config, write_trace_of
+
+from repro.obs.collect import collect_metrics
+from repro.sim.simulator import simulate
+
+TRACES = {
+    0: write_trace_of([0, 1, 0, 2, 1]),
+    1: write_trace_of([16, 17, 16]),
+}
+
+
+def run_and_collect(config=None):
+    config = config or small_config()
+    report = simulate(config, TRACES)
+    return report, collect_metrics(report, config.slot_width)
+
+
+class TestCatalogue:
+    def test_sim_series(self):
+        report, registry = run_and_collect()
+        assert registry.counter("sim.slots.total").value == report.total_slots
+        assert registry.counter("sim.cycles.total").value == report.total_cycles
+        assert registry.gauge("sim.makespan").value == report.makespan
+        assert registry.gauge("sim.timed_out").value == 0
+
+    def test_core_series_match_report(self):
+        report, registry = run_and_collect()
+        for core, core_report in report.core_reports.items():
+            assert (
+                registry.counter("core.requests", core=core).value
+                == core_report.requests
+            )
+            assert (
+                registry.gauge("core.observed_wcl", core=core).value
+                == core_report.observed_wcl
+            )
+            assert registry.gauge("core.starved", core=core).value == 0
+
+    def test_latency_histogram_conserves_requests(self):
+        """Every request lands in exactly one latency bucket."""
+        report, registry = run_and_collect()
+        for core, core_report in report.core_reports.items():
+            histogram = registry.get("core.latency", core=core)
+            assert histogram.count == core_report.requests
+            assert sum(histogram.buckets.values()) == core_report.requests
+            assert histogram.value_max == core_report.observed_wcl
+
+    def test_bus_slots_sum_to_total(self):
+        report, registry = run_and_collect()
+        total = sum(
+            metric.value
+            for (name, _), metric in registry
+            if name == "bus.slots"
+        )
+        assert total == report.total_slots
+
+    def test_llc_and_dram_series(self):
+        report, registry = run_and_collect()
+        llc = report.llc_stats
+        assert registry.counter("llc.accesses").value == llc.accesses
+        assert registry.counter("llc.hits").value == llc.hits
+        assert registry.counter("llc.misses").value == llc.misses
+        assert registry.gauge("llc.hit_rate").value == llc.hit_rate
+        assert registry.counter("dram.reads").value == report.dram_reads
+        assert registry.counter("dram.writes").value == report.dram_writes
+        # Hit-served request count agrees with the request records.
+        hits = sum(1 for record in report.requests if record.served_by_hit)
+        collected = sum(
+            metric.value
+            for (name, _), metric in registry
+            if name == "core.llc_hits"
+        )
+        assert collected == hits
+
+    def test_sequencer_series_present_when_enabled(self):
+        config = small_config(sequencer=True)
+        _, registry = run_and_collect(config)
+        assert registry.get("seq.registrations", partition="shared") is not None
+        grants = registry.counter("seq.head_grants", partition="shared")
+        assert grants.value >= 0
+
+    def test_arbiter_contention_series(self):
+        report, registry = run_and_collect()
+        for core, contended in report.arbiter_contended.items():
+            assert (
+                registry.counter("bus.arbiter.contended", core=core).value
+                == contended
+            )
+
+    def test_collect_is_deterministic(self):
+        _, first = run_and_collect()
+        _, second = run_and_collect()
+        assert first.rows() == second.rows()
+
+
+class TestSampler:
+    def test_sampler_off_by_default(self):
+        report, registry = run_and_collect()
+        assert report.metrics is None
+        assert registry.get("pwb.occupancy", core=0) is None
+
+    def test_sampler_series_when_enabled(self):
+        config = dataclasses.replace(
+            small_config(sequencer=True), record_metrics=True
+        )
+        report = simulate(config, TRACES)
+        assert report.metrics is not None
+        registry = collect_metrics(report, config.slot_width)
+        for core in range(config.num_cores):
+            pwb = registry.get("pwb.occupancy", core=core)
+            prb = registry.get("prb.occupancy", core=core)
+            # One sample per slot → counts conserve the slot total.
+            assert pwb.count == report.total_slots
+            assert prb.count == report.total_slots
+        seq = registry.get("seq.active_sets", partition="shared")
+        assert seq.count == report.total_slots
+
+    def test_sampling_does_not_change_results(self):
+        """Observation is passive: same workload, same report numbers."""
+        baseline = simulate(small_config(), TRACES)
+        sampled = simulate(
+            dataclasses.replace(small_config(), record_metrics=True), TRACES
+        )
+        assert sampled.makespan == baseline.makespan
+        assert sampled.observed_wcl() == baseline.observed_wcl()
+        assert {
+            core: report.requests
+            for core, report in sampled.core_reports.items()
+        } == {
+            core: report.requests
+            for core, report in baseline.core_reports.items()
+        }

@@ -1,0 +1,117 @@
+"""Exporter tests: JSONL/CSV/Prometheus/table renderers and dispatch."""
+
+import json
+
+import pytest
+
+from repro.common.errors import ObservabilityError
+from repro.obs.exporters import (
+    SUPPORTED_SUFFIXES,
+    metrics_to_csv,
+    metrics_to_jsonl,
+    metrics_to_prometheus,
+    render_metrics_table,
+    write_metrics,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def sample_registry():
+    registry = MetricsRegistry()
+    registry.counter("sim.slots.total").inc(10)
+    registry.gauge("llc.hit_rate").set(0.5)
+    hist = registry.histogram("core.latency", bucket_width=50, core=0)
+    hist.observe(10)
+    hist.observe(10)
+    hist.observe(120)
+    return registry
+
+
+class TestJsonl:
+    def test_one_sorted_object_per_series(self):
+        lines = metrics_to_jsonl(sample_registry()).splitlines()
+        assert len(lines) == 3
+        rows = [json.loads(line) for line in lines]
+        assert [row["name"] for row in rows] == [
+            "core.latency",
+            "llc.hit_rate",
+            "sim.slots.total",
+        ]
+        # Keys are sorted within each object → byte-stable output.
+        for line, row in zip(lines, rows):
+            assert line == json.dumps(row, sort_keys=True, separators=(",", ":"))
+
+    def test_empty_registry(self):
+        assert metrics_to_jsonl(MetricsRegistry()) == ""
+
+
+class TestCsv:
+    def test_long_form_rows(self):
+        lines = metrics_to_csv(sample_registry()).splitlines()
+        assert lines[0] == "name,labels,type,field,value"
+        body = lines[1:]
+        # Histogram flattens to buckets + 4 summary fields.
+        assert "core.latency,core=0,histogram,bucket_0,2" in body
+        assert "core.latency,core=0,histogram,bucket_100,1" in body
+        assert "core.latency,core=0,histogram,count,3" in body
+        assert "core.latency,core=0,histogram,sum,140" in body
+        assert "llc.hit_rate,,gauge,value,0.5" in body
+        assert "sim.slots.total,,counter,value,10" in body
+
+
+class TestPrometheus:
+    def test_exposition_format(self):
+        text = metrics_to_prometheus(sample_registry())
+        lines = text.splitlines()
+        assert "# TYPE repro_core_latency histogram" in lines
+        assert "# TYPE repro_llc_hit_rate gauge" in lines
+        assert "# TYPE repro_sim_slots_total counter" in lines
+        # Cumulative buckets with upper bounds, +Inf last.
+        assert 'repro_core_latency_bucket{core="0",le="50"} 2' in lines
+        assert 'repro_core_latency_bucket{core="0",le="150"} 3' in lines
+        assert 'repro_core_latency_bucket{core="0",le="+Inf"} 3' in lines
+        assert 'repro_core_latency_sum{core="0"} 140' in lines
+        assert 'repro_core_latency_count{core="0"} 3' in lines
+        assert "repro_sim_slots_total 10" in lines
+        assert text.endswith("\n")
+
+    def test_empty_registry(self):
+        assert metrics_to_prometheus(MetricsRegistry()) == ""
+
+
+class TestTable:
+    def test_renders_all_series(self):
+        text = render_metrics_table(sample_registry())
+        assert "core.latency{core=0}" in text
+        assert "count=3 sum=140" in text
+        assert "0.5000" in text  # float gauges get 4 decimals
+
+    def test_empty_registry(self):
+        assert render_metrics_table(MetricsRegistry()) == "(no metrics)"
+
+
+class TestWriteMetrics:
+    @pytest.mark.parametrize("suffix", SUPPORTED_SUFFIXES)
+    def test_dispatch_by_suffix(self, tmp_path, suffix):
+        target = write_metrics(sample_registry(), tmp_path / f"m{suffix}")
+        assert target.exists()
+        assert target.read_text() != ""
+
+    def test_unknown_suffix_is_an_error(self, tmp_path):
+        with pytest.raises(ObservabilityError, match="unsupported metrics format"):
+            write_metrics(sample_registry(), tmp_path / "metrics.xyz")
+
+    def test_missing_parent_dir_is_an_error(self, tmp_path):
+        with pytest.raises(ObservabilityError, match="cannot write metrics"):
+            write_metrics(sample_registry(), tmp_path / "nope" / "m.jsonl")
+
+    def test_output_independent_of_insertion_order(self, tmp_path):
+        forward = MetricsRegistry()
+        forward.counter("a").inc(1)
+        forward.counter("b").inc(2)
+        backward = MetricsRegistry()
+        backward.counter("b").inc(2)
+        backward.counter("a").inc(1)
+        out1 = write_metrics(forward, tmp_path / "f.jsonl")
+        out2 = write_metrics(backward, tmp_path / "b.jsonl")
+        assert out1.read_bytes() == out2.read_bytes()

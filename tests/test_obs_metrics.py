@@ -1,0 +1,199 @@
+"""Unit tests of the metrics registry: instruments, identity, merge."""
+
+import pickle
+
+import pytest
+
+from repro.common.errors import ObservabilityError
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    canonical_labels,
+    format_labels,
+    merge_all,
+)
+
+
+class TestInstruments:
+    def test_counter_sums(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        assert counter.merged(Counter(value=7)).value == 12
+
+    def test_counter_rejects_negative_increment(self):
+        with pytest.raises(ObservabilityError):
+            Counter().inc(-1)
+
+    def test_gauge_merges_by_max(self):
+        gauge = Gauge()
+        gauge.set(3)
+        gauge.set(2)
+        assert gauge.value == 2
+        assert gauge.merged(Gauge(value=9)).value == 9
+        assert Gauge(value=9).merged(gauge).value == 9
+
+    def test_histogram_buckets_by_width(self):
+        histogram = Histogram(bucket_width=50)
+        for value in (0, 49, 50, 149):
+            histogram.observe(value)
+        assert histogram.buckets == {0: 2, 50: 1, 100: 1}
+        assert histogram.count == 4
+        assert histogram.value_sum == 248
+        assert histogram.value_min == 0
+        assert histogram.value_max == 149
+        assert histogram.mean == pytest.approx(62.0)
+
+    def test_histogram_bulk_observe(self):
+        histogram = Histogram(bucket_width=1)
+        histogram.observe_bucket(3, 10)
+        histogram.observe_bucket(0, 2)
+        histogram.observe_bucket(5, 0)  # no-op
+        assert histogram.buckets == {3: 10, 0: 2}
+        assert histogram.count == 12
+        assert histogram.value_sum == 30
+
+    def test_histogram_rejects_bad_width_and_counts(self):
+        with pytest.raises(ObservabilityError):
+            Histogram(bucket_width=0)
+        with pytest.raises(ObservabilityError):
+            Histogram(bucket_width=1).observe_bucket(0, -1)
+
+    def test_histogram_merge_conserves_counts(self):
+        left = Histogram(bucket_width=10)
+        right = Histogram(bucket_width=10)
+        for value in (1, 11, 21):
+            left.observe(value)
+        for value in (5, 35):
+            right.observe(value)
+        merged = left.merged(right)
+        assert merged.count == 5
+        assert sum(merged.buckets.values()) == merged.count
+        assert merged.value_min == 1
+        assert merged.value_max == 35
+        # Operands are untouched.
+        assert left.count == 3 and right.count == 2
+
+    def test_histogram_merge_width_mismatch(self):
+        with pytest.raises(ObservabilityError):
+            Histogram(bucket_width=10).merged(Histogram(bucket_width=20))
+
+
+class TestLabels:
+    def test_canonical_labels_sort_and_stringify(self):
+        assert canonical_labels({"b": 2, "a": "x"}) == (("a", "x"), ("b", "2"))
+
+    def test_format_labels(self):
+        assert format_labels((("a", "1"), ("b", "2"))) == "a=1,b=2"
+        assert format_labels(()) == ""
+
+
+class TestRegistry:
+    def test_get_or_create_is_stable(self):
+        registry = MetricsRegistry()
+        registry.counter("hits", core=1).inc()
+        registry.counter("hits", core=1).inc()
+        assert registry.counter("hits", core=1).value == 2
+        # Different labels → different series.
+        assert registry.counter("hits", core=2).value == 0
+        assert len(registry) == 2
+
+    def test_kind_conflict_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ObservabilityError):
+            registry.gauge("x")
+        with pytest.raises(ObservabilityError):
+            registry.histogram("x", bucket_width=10)
+
+    def test_histogram_width_conflict_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat", bucket_width=50)
+        with pytest.raises(ObservabilityError):
+            registry.histogram("lat", bucket_width=25)
+
+    def test_iteration_order_is_canonical(self):
+        registry = MetricsRegistry()
+        registry.counter("z")
+        registry.counter("a", core=2)
+        registry.counter("a", core=1)
+        keys = [key for key, _ in registry]
+        assert keys == sorted(keys)
+
+    def test_get_and_names(self):
+        registry = MetricsRegistry()
+        registry.gauge("level", core=0).set(7)
+        assert registry.get("level", core=0).value == 7
+        assert registry.get("level", core=1) is None
+        assert registry.names() == ["level"]
+
+    def test_merged_is_pure(self):
+        left = MetricsRegistry()
+        left.counter("n").inc(1)
+        right = MetricsRegistry()
+        right.counter("n").inc(2)
+        merged = left.merged(right)
+        assert merged.counter("n").value == 3
+        assert left.counter("n").value == 1
+        assert right.counter("n").value == 2
+        # Mutating the merge result must not leak into operands.
+        merged.counter("n").inc(100)
+        assert right.counter("n").value == 2
+
+    def test_merged_kind_conflict(self):
+        left = MetricsRegistry()
+        left.counter("x")
+        right = MetricsRegistry()
+        right.gauge("x")
+        with pytest.raises(ObservabilityError):
+            left.merged(right)
+
+    def test_relabel_scopes_series(self):
+        registry = MetricsRegistry()
+        registry.counter("n", core=0).inc(5)
+        scoped = registry.relabel(config="SS(1,16,4)")
+        assert scoped.counter("n", core=0, config="SS(1,16,4)").value == 5
+        # Original is untouched.
+        assert registry.counter("n", core=0).value == 5
+
+    def test_relabel_refuses_overwrite(self):
+        registry = MetricsRegistry()
+        registry.counter("n", core=0)
+        with pytest.raises(ObservabilityError):
+            registry.relabel(core=9)
+
+    def test_rows_canonical_shape(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat", bucket_width=50, core=0).observe(60)
+        registry.counter("n").inc(2)
+        rows = registry.rows()
+        assert [row["name"] for row in rows] == ["lat", "n"]
+        hist_row = rows[0]
+        assert hist_row["type"] == "histogram"
+        assert hist_row["buckets"] == {"50": 1}
+        assert hist_row["labels"] == {"core": "0"}
+        assert rows[1] == {
+            "name": "n",
+            "labels": {},
+            "type": "counter",
+            "value": 2,
+        }
+
+    def test_registry_survives_pickling(self):
+        registry = MetricsRegistry()
+        registry.counter("n", core=1).inc(3)
+        registry.histogram("lat", bucket_width=50).observe(99)
+        clone = pickle.loads(pickle.dumps(registry))
+        assert clone.rows() == registry.rows()
+
+    def test_merge_all_empty_and_fold(self):
+        assert merge_all([]).rows() == []
+        parts = []
+        for value in (1, 2, 3):
+            registry = MetricsRegistry()
+            registry.counter("n").inc(value)
+            parts.append(registry)
+        assert merge_all(parts).counter("n").value == 6

@@ -1,0 +1,140 @@
+"""Tracing tests: canonical encoding, digests, streaming sink."""
+
+import dataclasses
+import io
+import json
+
+import pytest
+
+from sim_helpers import small_config, write_trace_of
+
+from repro.common.errors import ObservabilityError
+from repro.obs.tracing import (
+    JsonlTraceSink,
+    event_json_line,
+    event_to_dict,
+    trace_digest,
+    trace_to_jsonl_bytes,
+)
+from repro.sim.events import EventKind, SimEvent
+from repro.sim.simulator import simulate
+
+
+def sample_event(**overrides):
+    fields = dict(
+        cycle=100,
+        slot=2,
+        kind=EventKind.RESPONSE,
+        core=1,
+        block=7,
+        set_index=0,
+        way=3,
+        detail="hit",
+    )
+    fields.update(overrides)
+    return SimEvent(**fields)
+
+
+def run_small(config=None, **simulate_kwargs):
+    config = config or small_config()
+    traces = {
+        0: write_trace_of([0, 1, 0, 2]),
+        1: write_trace_of([16, 17, 16]),
+    }
+    return simulate(config, traces, **simulate_kwargs)
+
+
+class TestEncoding:
+    def test_event_to_dict_is_plain_data(self):
+        data = event_to_dict(sample_event())
+        assert data == {
+            "cycle": 100,
+            "slot": 2,
+            "kind": "response",
+            "core": 1,
+            "block": 7,
+            "set": 0,
+            "way": 3,
+            "detail": "hit",
+        }
+
+    def test_json_line_is_canonical(self):
+        line = event_json_line(sample_event())
+        assert line == json.dumps(
+            json.loads(line), sort_keys=True, separators=(",", ":")
+        )
+        assert "\n" not in line
+
+    def test_bytes_and_digest_agree(self):
+        events = [sample_event(cycle=c) for c in (1, 2, 3)]
+        blob = trace_to_jsonl_bytes(events)
+        assert blob.count(b"\n") == 3
+        import hashlib
+
+        assert trace_digest(events) == hashlib.sha256(blob).hexdigest()
+
+    def test_digest_is_order_sensitive(self):
+        a, b = sample_event(cycle=1), sample_event(cycle=2)
+        assert trace_digest([a, b]) != trace_digest([b, a])
+
+
+class TestSinkFiltering:
+    def test_writes_all_events_to_handle(self):
+        buffer = io.StringIO()
+        sink = JsonlTraceSink(buffer)
+        events = [sample_event(cycle=c) for c in (1, 2)]
+        for event in events:
+            sink(event)
+        sink.close()
+        assert sink.emitted == 2
+        assert buffer.getvalue().encode() == trace_to_jsonl_bytes(events)
+
+    def test_kind_and_core_filters_are_conjunctive(self):
+        buffer = io.StringIO()
+        sink = JsonlTraceSink(
+            buffer, kinds={EventKind.RESPONSE}, cores=[0]
+        )
+        sink(sample_event(core=0, kind=EventKind.RESPONSE))  # both match
+        sink(sample_event(core=1, kind=EventKind.RESPONSE))  # wrong core
+        sink(sample_event(core=0, kind=EventKind.REQ_BROADCAST))  # wrong kind
+        assert sink.emitted == 1
+
+    def test_closed_sink_rejects_events(self):
+        sink = JsonlTraceSink(io.StringIO())
+        sink.close()
+        with pytest.raises(ObservabilityError):
+            sink(sample_event())
+        sink.close()  # idempotent
+
+    def test_unwritable_path_is_an_error(self, tmp_path):
+        with pytest.raises(ObservabilityError, match="cannot open trace sink"):
+            JsonlTraceSink(tmp_path / "missing" / "trace.jsonl")
+
+
+class TestLiveStreaming:
+    def test_sink_matches_recorded_log(self, tmp_path):
+        """Streaming during the run reproduces the in-memory log's bytes."""
+        path = tmp_path / "trace.jsonl"
+        with JsonlTraceSink(path) as sink:
+            report = run_small(event_sink=sink)
+        recorded = trace_to_jsonl_bytes(report.events.all())
+        assert path.read_bytes() == recorded
+        assert sink.emitted == len(report.events.all())
+
+    def test_sink_streams_with_recording_off(self, tmp_path):
+        """O(1)-memory tracing: events flow to the sink, none are kept."""
+        config = dataclasses.replace(small_config(), record_events=False)
+        path = tmp_path / "trace.jsonl"
+        with JsonlTraceSink(path) as sink:
+            report = run_small(config, event_sink=sink)
+        assert len(report.events.all()) == 0
+        assert sink.emitted > 0
+        assert len(path.read_text().splitlines()) == sink.emitted
+
+    def test_same_seed_same_digest(self):
+        """The golden-trace premise: identical runs, identical digests."""
+        first = run_small()
+        second = run_small()
+        assert trace_digest(first.events.all()) == trace_digest(
+            second.events.all()
+        )

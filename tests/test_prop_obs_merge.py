@@ -1,0 +1,113 @@
+"""Property tests of the metrics merge algebra.
+
+The parallel campaign's determinism rests on one claim: registry merge
+is associative and commutative (up to the canonical row order), so any
+worker completion order folds to the same bytes.  These tests state the
+algebra directly over generated registries; the end-to-end serial ≡
+parallel check lives in test_obs_parallel.py.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import MetricsRegistry, merge_all
+
+# A fixed schema keeps generated registries merge-compatible (a name
+# never changes kind or bucket width between registries, which the
+# registry itself would reject as a conflict).
+COUNTER_NAMES = ("core.requests", "llc.hits", "dram.reads")
+GAUGE_NAMES = ("sim.makespan", "llc.hit_rate")
+HISTOGRAM_NAMES = (("core.latency", 50), ("pwb.occupancy", 1))
+LABEL_SETS = ({}, {"core": 0}, {"core": 1}, {"core": 0, "kind": "req"})
+
+label_sets = st.sampled_from(LABEL_SETS)
+
+counter_updates = st.lists(
+    st.tuples(
+        st.sampled_from(COUNTER_NAMES), label_sets, st.integers(0, 1_000)
+    ),
+    max_size=8,
+)
+gauge_updates = st.lists(
+    st.tuples(st.sampled_from(GAUGE_NAMES), label_sets, st.integers(0, 10_000)),
+    max_size=8,
+)
+histogram_updates = st.lists(
+    st.tuples(
+        st.sampled_from(HISTOGRAM_NAMES), label_sets, st.integers(0, 5_000)
+    ),
+    max_size=8,
+)
+
+
+@st.composite
+def registries(draw):
+    registry = MetricsRegistry()
+    for name, labels, amount in draw(counter_updates):
+        registry.counter(name, **labels).inc(amount)
+    for name, labels, value in draw(gauge_updates):
+        registry.gauge(name, **labels).set(value)
+    for (name, width), labels, value in draw(histogram_updates):
+        registry.histogram(name, width, **labels).observe(value)
+    return registry
+
+
+def rows(registry):
+    return registry.rows()
+
+
+@settings(max_examples=60, deadline=None)
+@given(registries(), registries())
+def test_merge_commutes_up_to_canonical_order(a, b):
+    assert rows(a.merged(b)) == rows(b.merged(a))
+
+
+@settings(max_examples=60, deadline=None)
+@given(registries(), registries(), registries())
+def test_merge_is_associative(a, b, c):
+    assert rows(a.merged(b).merged(c)) == rows(a.merged(b.merged(c)))
+
+
+@settings(max_examples=40, deadline=None)
+@given(registries())
+def test_empty_registry_is_the_identity(a):
+    empty = MetricsRegistry()
+    assert rows(a.merged(empty)) == rows(a)
+    assert rows(empty.merged(a)) == rows(a)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(registries(), max_size=5), st.randoms())
+def test_merge_all_is_order_independent(parts, rng):
+    baseline = rows(merge_all(parts))
+    shuffled = list(parts)
+    rng.shuffle(shuffled)
+    assert rows(merge_all(shuffled)) == baseline
+
+
+@settings(max_examples=60, deadline=None)
+@given(registries(), registries())
+def test_histogram_merge_conserves_buckets(a, b):
+    """Merged bucket counts are the per-operand sums — nothing lost."""
+    merged = a.merged(b)
+    for key, metric in merged:
+        if metric.kind != "histogram":
+            continue
+        name, labels = key
+        parts = [
+            part.get(name, **dict(labels))
+            for part in (a, b)
+            if part.get(name, **dict(labels)) is not None
+        ]
+        assert metric.count == sum(part.count for part in parts)
+        assert sum(metric.buckets.values()) == metric.count
+        assert metric.value_sum == sum(part.value_sum for part in parts)
+
+
+@settings(max_examples=60, deadline=None)
+@given(registries(), registries())
+def test_merge_is_pure(a, b):
+    before_a, before_b = rows(a), rows(b)
+    a.merged(b)
+    assert rows(a) == before_a
+    assert rows(b) == before_b

@@ -339,7 +339,7 @@ class TestRobustSweep:
 
 class TestRunAllRobust:
     @staticmethod
-    def fake_steps(num_requests=300, tightness_repeats=25):
+    def fake_steps(num_requests=300, tightness_repeats=25, **kwargs):
         class FakeArtifact:
             def __init__(self, name, passed):
                 self.name = name
@@ -376,13 +376,13 @@ class TestRunAllRobust:
         # A failing artifact check → non-zero.
         assert main(["all", "--out", str(tmp_path / "r1")]) == 1
 
-        def green_steps(num_requests=300, tightness_repeats=25):
+        def green_steps(num_requests=300, tightness_repeats=25, **kwargs):
             return [self.fake_steps()[0]]
 
         monkeypatch.setattr(runner_mod, "artifact_steps", green_steps)
         assert main(["all", "--out", str(tmp_path / "r2")]) == 0
 
-        def crashing_steps(num_requests=300, tightness_repeats=25):
+        def crashing_steps(num_requests=300, tightness_repeats=25, **kwargs):
             def crash():
                 raise RuntimeError("artifact exploded")
 
@@ -399,7 +399,7 @@ class TestRunAllRobust:
 
         calls = []
 
-        def counting_steps(num_requests=300, tightness_repeats=25):
+        def counting_steps(num_requests=300, tightness_repeats=25, **kwargs):
             class FakeArtifact:
                 name = "alpha"
                 table = "t"
