@@ -1,0 +1,63 @@
+"""Benchmark: fuzz-harness overhead (oracle on) vs plain simulation.
+
+Every fuzz case runs with event recording on and is then replayed by
+the differential oracle.  That second pass must stay cheap, or fuzz
+budgets collapse and CI stops exploring: the acceptance criterion is
+**under 5× wall clock** versus running the same generated scenarios
+through the bare simulator with events off, and a floor on absolute
+throughput so a 200-case smoke budget stays in seconds.
+"""
+
+import dataclasses
+import time
+
+from repro.robustness.fuzz import (
+    config_from_dict,
+    generate_cases,
+    run_fuzz_case,
+    traces_from_case,
+)
+from repro.sim.simulator import simulate
+
+from bench_common import emit
+
+BUDGET = 120
+SEED = 0
+
+
+def _plain_seconds(cases):
+    """The same scenarios on the bare engine: no events, no oracle."""
+    started = time.perf_counter()
+    for case in cases:
+        config = dataclasses.replace(
+            config_from_dict(case.config), record_events=False
+        )
+        simulate(config, traces_from_case(case))
+    return time.perf_counter() - started
+
+
+def test_fuzz_harness_overhead(benchmark):
+    cases = generate_cases(BUDGET, SEED)
+    plain_seconds = _plain_seconds(cases)
+
+    def run_fuzzed():
+        started = time.perf_counter()
+        results = [run_fuzz_case(case) for case in cases]
+        return results, time.perf_counter() - started
+
+    results, fuzz_seconds = benchmark.pedantic(
+        run_fuzzed, iterations=1, rounds=1
+    )
+    ratio = fuzz_seconds / plain_seconds
+    emit(
+        f"plain: {BUDGET / plain_seconds:.0f} configs/s   "
+        f"oracle: {BUDGET / fuzz_seconds:.0f} configs/s   "
+        f"overhead: {ratio:.2f}x"
+    )
+
+    # Transparency first: the harness found nothing on a healthy engine.
+    assert all(result.passed for result in results)
+    # The oracle pass must stay cheap enough for CI fuzz budgets.
+    assert ratio < 5.0, f"fuzz-harness overhead {ratio:.2f}x exceeds 5x"
+    # And absolute throughput must keep a 200-case smoke run in seconds.
+    assert BUDGET / fuzz_seconds > 20, "fuzz throughput below 20 configs/s"

@@ -127,7 +127,16 @@ from repro.robustness.faults import (
     FaultSpec,
     install_fault_plan,
 )
+from repro.robustness.fuzz import (
+    FuzzCase,
+    FuzzCaseResult,
+    FuzzReport,
+    generate_cases,
+    run_fuzz,
+    run_fuzz_case,
+)
 from repro.robustness.invariants import InvariantMonitor, standard_invariants
+from repro.robustness.oracle import OracleReport, OracleViolation, check_run
 from repro.robustness.runner import (
     CampaignResult,
     CampaignRunner,
@@ -137,6 +146,14 @@ from repro.robustness.runner import (
     TaskOutcome,
     run_all_robust,
     sweep_seeds_robust,
+)
+from repro.robustness.shrink import (
+    ReplayResult,
+    ShrinkResult,
+    load_artifact,
+    replay_artifact,
+    shrink_case,
+    write_artifact,
 )
 from repro.sim.config import (
     PAPER_LINE_SIZE,
@@ -308,6 +325,21 @@ __all__ = [
     "TaskOutcome",
     "run_all_robust",
     "sweep_seeds_robust",
+    "OracleReport",
+    "OracleViolation",
+    "check_run",
+    "FuzzCase",
+    "FuzzCaseResult",
+    "FuzzReport",
+    "generate_cases",
+    "run_fuzz",
+    "run_fuzz_case",
+    "ReplayResult",
+    "ShrinkResult",
+    "load_artifact",
+    "replay_artifact",
+    "shrink_case",
+    "write_artifact",
     "LatencyStats",
     "core_latency_stats",
     "latency_histogram",

@@ -3,10 +3,22 @@
 Section 3 of the paper: before a core's request or write-back is placed
 on the bus, it waits in the core's PRB (requests) or PWB (write-backs).
 Each core has **at most one outstanding memory request**, so the PRB
-holds at most one entry; the PWB is a FIFO that accumulates the dirty
-lines the core must push to the LLC — both its own capacity evictions
-and the write-backs forced on it by inclusive LLC evictions
+holds at most one entry; the PWB accumulates the dirty lines the core
+must push to the LLC — both its own capacity evictions and the
+write-backs forced on it by inclusive LLC evictions
 (back-invalidations).
+
+The PWB services back-invalidation write-backs before capacity
+write-backs (FIFO within each class).  A back-invalidation write-back
+is what frees a ``PENDING_EVICT`` LLC entry that another core may be
+waiting on; Corollary 4.5's guaranteed decay rate — and with it the
+Theorem 4.7/4.8 bounds — assumes the owner's next write-back slot
+services exactly that obligation.  Under a plain FIFO a capacity
+write-back queued ahead of it delays the freeing by a full extra
+period per queued entry, and observed latencies exceed the theorem
+(found by differential fuzzing; see
+``tests/test_robustness_oracle.py``).  Capacity write-backs free no
+entry anyone waits on, so delaying them costs no one.
 """
 
 from __future__ import annotations
@@ -115,7 +127,15 @@ class WritebackEntry:
 
 
 class PendingWritebackBuffer:
-    """PWB: FIFO of the core's pending write-backs."""
+    """PWB: the core's pending write-backs.
+
+    Back-invalidation write-backs are serviced before capacity
+    write-backs, FIFO within each class (module docstring has the
+    timing argument).  ``peek``/``pop`` take the slot-start cycle so
+    only write-backs already queued *at the beginning of the slot* are
+    eligible — entries are pushed in cycle order, so an ineligible
+    selection can never shadow an eligible one.
+    """
 
     def __init__(self, core: CoreId) -> None:
         self.core = core
@@ -130,7 +150,7 @@ class PendingWritebackBuffer:
         return not self._entries
 
     def push(self, entry: WritebackEntry) -> None:
-        """Append a write-back to the FIFO."""
+        """Queue a write-back."""
         if entry.core != self.core:
             raise SimulationError(
                 f"write-back for core {entry.core} pushed into core {self.core}'s PWB"
@@ -138,15 +158,32 @@ class PendingWritebackBuffer:
         self._entries.append(entry)
         self.max_occupancy = max(self.max_occupancy, len(self._entries))
 
-    def pop(self) -> WritebackEntry:
-        """Remove and return the oldest write-back."""
-        if not self._entries:
-            raise SimulationError(f"core {self.core}: pop from empty PWB")
-        return self._entries.popleft()
+    def _select(self, before: Optional[Cycle]) -> Optional[WritebackEntry]:
+        eligible = [
+            entry
+            for entry in self._entries
+            if before is None or entry.enqueued_at <= before
+        ]
+        for entry in eligible:
+            if entry.reason is WritebackReason.BACK_INVALIDATION:
+                return entry
+        return eligible[0] if eligible else None
 
-    def peek(self) -> Optional[WritebackEntry]:
-        """The oldest write-back without removing it."""
-        return self._entries[0] if self._entries else None
+    def pop(self, before: Optional[Cycle] = None) -> WritebackEntry:
+        """Remove and return the next write-back to send.
+
+        ``before`` restricts the choice to entries enqueued at or
+        before that cycle (the slot-eligibility rule).
+        """
+        entry = self._select(before)
+        if entry is None:
+            raise SimulationError(f"core {self.core}: pop from empty PWB")
+        self._entries.remove(entry)
+        return entry
+
+    def peek(self, before: Optional[Cycle] = None) -> Optional[WritebackEntry]:
+        """The write-back ``pop`` would return, without removing it."""
+        return self._select(before)
 
     def blocks(self) -> list[BlockAddress]:
         """Blocks currently queued, oldest first."""

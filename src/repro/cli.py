@@ -27,6 +27,13 @@ Subcommands
     Regenerate every artifact through the crash-tolerant campaign
     runner (per-task timeouts, retry, quarantine, manifest resume);
     exits non-zero if any artifact fails or is quarantined.
+``fuzz``
+    Run a seeded chaos-fuzz campaign: boundary-biased random scenarios
+    cross-checked by the differential oracle, with failing cases
+    shrunk to minimal repro artifacts; exits non-zero on any finding.
+``repro``
+    Replay a repro artifact deterministically and report whether the
+    recorded failure still reproduces.
 """
 
 from __future__ import annotations
@@ -438,6 +445,61 @@ def _cmd_all(args: argparse.Namespace) -> int:
     return 0 if result.all_ok else 1
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.obs.metrics import MetricsRegistry
+    from repro.robustness.fuzz import run_fuzz
+
+    registry = MetricsRegistry() if args.metrics else None
+    report = run_fuzz(
+        budget=args.budget,
+        seed=args.seed,
+        out_dir=args.out,
+        jobs=args.jobs,
+        fault_rate=args.chaos,
+        resume=args.resume,
+        timeout=args.timeout,
+        shrink_failures=args.shrink,
+        progress=print if args.verbose else None,
+        registry=registry,
+    )
+    print(report.summary_lines())
+    if args.out:
+        print(f"report written to {args.out}/fuzz-report.json")
+    if args.metrics:
+        status = _export_metrics(registry, args.metrics)
+        if status != 0:
+            return status
+    return 0 if report.ok else 1
+
+
+def _cmd_repro(args: argparse.Namespace) -> int:
+    from repro.common.errors import FuzzError
+    from repro.robustness.shrink import replay_artifact
+
+    try:
+        replay = replay_artifact(args.artifact)
+    except FuzzError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    case = replay.case
+    summary = (
+        f"case {case.case_id}: {case.total_requests} request(s), "
+        f"{case.config['num_cores']} core(s)"
+    )
+    if case.fault:
+        summary += f", injected {case.fault['kind']} at slot {case.fault['slot']}"
+    print(summary)
+    print(f"expected signature: {replay.expected_signature}")
+    print(f"observed signature: {replay.result.signature or '(case passed)'}")
+    for violation in replay.result.violations[:10]:
+        print(f"  {violation['check']}: {violation['detail']}")
+    if replay.reproduced:
+        print("REPRODUCED")
+        return 0
+    print("NOT REPRODUCED: the failure no longer matches", file=sys.stderr)
+    return 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -638,6 +700,76 @@ def build_parser() -> argparse.ArgumentParser:
     add_jobs_arg(all_cmd)
     add_metrics_arg(all_cmd)
     all_cmd.set_defaults(func=_cmd_all)
+
+    fuzz_cmd = sub.add_parser(
+        "fuzz",
+        help="chaos-fuzz random scenarios against the differential oracle",
+    )
+    fuzz_cmd.add_argument(
+        "--budget",
+        type=int,
+        default=200,
+        help="number of generated cases (default: 200)",
+    )
+    fuzz_cmd.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="campaign seed; (budget, seed) fixes the exact case list",
+    )
+    fuzz_cmd.add_argument(
+        "--out",
+        metavar="DIR",
+        default=None,
+        help="write fuzz-report.json, the resume manifest and any repro "
+        "artifacts here (use a fresh directory per budget/seed)",
+    )
+    fuzz_cmd.add_argument(
+        "--chaos",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        help="inject a deterministic engine fault into this fraction of "
+        "cases; every fault that fires must be caught by the oracle "
+        "(a missed fault fails the campaign)",
+    )
+    fuzz_cmd.add_argument(
+        "--resume",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="skip cases a previous (interrupted) campaign in --out "
+        "already ran, per its manifest (--no-resume starts over)",
+    )
+    fuzz_cmd.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-case wall-clock budget in seconds (hung cases are "
+        "quarantined and count as failures)",
+    )
+    fuzz_cmd.add_argument(
+        "--shrink",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="delta-debug each failing case down to a minimal "
+        "repro-<case>.json artifact in --out",
+    )
+    fuzz_cmd.add_argument(
+        "--verbose",
+        action="store_true",
+        help="print per-case progress while the campaign runs",
+    )
+    add_jobs_arg(fuzz_cmd)
+    add_metrics_arg(fuzz_cmd)
+    fuzz_cmd.set_defaults(func=_cmd_fuzz)
+
+    repro_cmd = sub.add_parser(
+        "repro", help="replay a minimized repro artifact deterministically"
+    )
+    repro_cmd.add_argument(
+        "artifact", help="a repro-*.json file written by 'fuzz'"
+    )
+    repro_cmd.set_defaults(func=_cmd_repro)
 
     compare_cmd = sub.add_parser(
         "compare", help="compare partition configurations on one workload"

@@ -98,6 +98,15 @@ class TraceError(ReproError):
     """A memory trace is malformed or cannot be parsed."""
 
 
+class FuzzError(ReproError):
+    """A fuzz campaign, shrink run or repro artifact is unusable.
+
+    Covers oracle checks requested on runs recorded without events,
+    shrinking a case that does not actually fail, and repro artifacts
+    that are malformed or carry an unsupported schema version.
+    """
+
+
 class ObservabilityError(ReproError):
     """A metrics/tracing request is malformed or cannot be served.
 

@@ -12,6 +12,16 @@ Three pieces, one goal — trust the numbers the simulator reports:
 * :mod:`repro.robustness.runner` — a crash-tolerant campaign runner
   (timeouts, bounded retry, quarantine, manifest-based resume) wrapping
   the experiment suite and seed sweeps.
+* :mod:`repro.robustness.oracle` — a differential oracle: a dumb,
+  independently-written replay of the event stream that re-derives
+  slot ownership, LLC contents, sequencer FIFO order and per-request
+  latencies, plus the analytical Theorem 4.7/4.8 bound check.
+* :mod:`repro.robustness.fuzz` — seeded, boundary-biased chaos-fuzz
+  campaigns over the (config × workload × schedule) space, judged by
+  the oracle and driven through the campaign runner.
+* :mod:`repro.robustness.shrink` — a delta-debugging minimizer that
+  reduces any failing fuzz case to a self-contained JSON repro
+  artifact (``repro-llc repro FILE`` replays it).
 """
 
 from repro.robustness.faults import (
@@ -36,6 +46,21 @@ from repro.robustness.invariants import (
     SlotSequenceInvariant,
     standard_invariants,
 )
+from repro.robustness.fuzz import (
+    FuzzCase,
+    FuzzCaseResult,
+    FuzzReport,
+    generate_case,
+    generate_cases,
+    run_fuzz,
+    run_fuzz_case,
+)
+from repro.robustness.oracle import (
+    ORACLE_CHECKS,
+    OracleReport,
+    OracleViolation,
+    check_run,
+)
 from repro.robustness.runner import (
     CampaignResult,
     CampaignRunner,
@@ -45,6 +70,14 @@ from repro.robustness.runner import (
     TaskOutcome,
     run_all_robust,
     sweep_seeds_robust,
+)
+from repro.robustness.shrink import (
+    ReplayResult,
+    ShrinkResult,
+    load_artifact,
+    replay_artifact,
+    shrink_case,
+    write_artifact,
 )
 
 __all__ = [
@@ -74,4 +107,21 @@ __all__ = [
     "TaskOutcome",
     "run_all_robust",
     "sweep_seeds_robust",
+    "ORACLE_CHECKS",
+    "OracleReport",
+    "OracleViolation",
+    "check_run",
+    "FuzzCase",
+    "FuzzCaseResult",
+    "FuzzReport",
+    "generate_case",
+    "generate_cases",
+    "run_fuzz",
+    "run_fuzz_case",
+    "ReplayResult",
+    "ShrinkResult",
+    "load_artifact",
+    "replay_artifact",
+    "shrink_case",
+    "write_artifact",
 ]

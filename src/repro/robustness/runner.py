@@ -31,6 +31,7 @@ import os
 import signal
 import threading
 import time
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import (
@@ -121,6 +122,12 @@ class RunManifest:
     def load(cls, path: Union[str, Path]) -> "RunManifest":
         """Load an existing manifest; empty when the file is missing."""
         manifest = cls(path)
+        # A crash between writing the temp file and the atomic rename
+        # can orphan a *.tmp next to the manifest; it holds no state the
+        # manifest itself lacks, so clear it out.
+        manifest.path.with_name(manifest.path.name + ".tmp").unlink(
+            missing_ok=True
+        )
         if not manifest.path.exists():
             return manifest
         try:
@@ -173,8 +180,21 @@ class RunManifest:
             indent=2,
         )
         tmp = self.path.with_name(self.path.name + ".tmp")
-        tmp.write_text(payload + "\n")
+        with open(tmp, "w") as handle:
+            handle.write(payload + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(tmp, self.path)
+        try:
+            # Flush the rename itself so a power loss cannot resurrect
+            # the previous manifest generation.
+            dir_fd = os.open(self.path.parent, os.O_RDONLY)
+            try:
+                os.fsync(dir_fd)
+            finally:
+                os.close(dir_fd)
+        except OSError:  # pragma: no cover - platform-dependent
+            pass
 
     def results(self) -> Dict[str, Dict[str, Any]]:
         """Status and payload per task — the comparable campaign outcome.
@@ -342,6 +362,11 @@ class CampaignRunner:
         self.jobs = jobs
         self.sleep = sleep
         self.clock = clock
+        # Whether the most recent _call_with_timeout actually armed the
+        # requested budget; manifest entries record the (rare) case it
+        # could not.  One loud warning per runner, not one per task.
+        self._last_timeout_enforced = True
+        self._timeout_warning_issued = False
 
     # -- timeout enforcement -------------------------------------------
     @staticmethod
@@ -352,8 +377,27 @@ class CampaignRunner:
         )
 
     def _call_with_timeout(self, name: str, thunk: Callable[[], Any]) -> Any:
-        if self.timeout is None or not self._can_use_alarm():
+        if self.timeout is None:
+            self._last_timeout_enforced = True
             return thunk()
+        if not self._can_use_alarm():
+            # SIGALRM is unavailable off the main thread / platform; the
+            # task runs untimed.  Say so loudly (once) and flag it, so a
+            # manifest never silently pretends the budget applied.
+            self._last_timeout_enforced = False
+            if not self._timeout_warning_issued:
+                self._timeout_warning_issued = True
+                warnings.warn(
+                    f"campaign timeout of {self.timeout}s cannot be "
+                    "enforced here (SIGALRM unavailable: not the main "
+                    "thread of a Unix process); tasks run untimed and "
+                    "their manifest entries record timeout_enforced: "
+                    "false",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+            return thunk()
+        self._last_timeout_enforced = True
 
         def _on_alarm(signum, frame):  # pragma: no cover - trivial
             raise TaskTimeoutError(
@@ -558,6 +602,8 @@ class CampaignRunner:
                 "error_type": None,
                 "payload": self.payload_of(task_result),
             }
+            if not self._last_timeout_enforced:
+                entry["timeout_enforced"] = False
             manifest.record(name, entry)
             return TaskOutcome(
                 name=name,
@@ -584,6 +630,8 @@ class CampaignRunner:
             "error_type": type(exc).__name__,
             "payload": None,
         }
+        if not self._last_timeout_enforced:
+            entry["timeout_enforced"] = False
         manifest.record(name, entry)
         return TaskOutcome(
             name=name,

@@ -192,9 +192,9 @@ class SlotEngine:
         prb = self.system.prbs[owner]
         pwb = self.system.pwbs[owner]
         request = prb.entry
-        writeback = pwb.peek()
+        writeback = pwb.peek(slot_start)
         has_request = request is not None and request.enqueued_at <= slot_start
-        has_writeback = writeback is not None and writeback.enqueued_at <= slot_start
+        has_writeback = writeback is not None
         kind = self.system.arbiters[owner].choose(has_request, has_writeback)
         if kind is None:
             self._slot_usage[owner]["idle"] += 1
@@ -210,7 +210,7 @@ class SlotEngine:
             self._do_request(owner, slot_start)
 
     def _do_writeback(self, core: CoreId, slot_start: Cycle) -> None:
-        entry = self.system.pwbs[core].pop()
+        entry = self.system.pwbs[core].pop(slot_start)
         pending = self.system.llc.pending_entry(entry.block)
         outcome = self.system.llc.complete_writeback(core, entry.block)
         if outcome in (WritebackOutcome.FREED, WritebackOutcome.DRAM_DIRECT):

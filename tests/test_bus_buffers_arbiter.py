@@ -94,6 +94,37 @@ class TestPendingWritebackBuffer:
         pwb.push(writeback(block=9))
         assert pwb.blocks() == [4, 9]
 
+    def test_back_invalidation_jumps_capacity(self):
+        # The freeing write-back must not wait behind a capacity one:
+        # another core may be blocked on the PENDING_EVICT entry, and
+        # the Theorem 4.7 decay rate budgets exactly one write-back
+        # slot for it.
+        pwb = PendingWritebackBuffer(0)
+        pwb.push(writeback(block=1))
+        pwb.push(writeback(block=2, reason=WritebackReason.BACK_INVALIDATION))
+        assert pwb.peek().block == 2
+        assert pwb.pop().block == 2
+        assert pwb.pop().block == 1
+
+    def test_fifo_within_each_class(self):
+        pwb = PendingWritebackBuffer(0)
+        pwb.push(writeback(block=1, reason=WritebackReason.BACK_INVALIDATION))
+        pwb.push(writeback(block=2))
+        pwb.push(writeback(block=3, reason=WritebackReason.BACK_INVALIDATION))
+        assert [pwb.pop().block for _ in range(3)] == [1, 3, 2]
+
+    def test_slot_eligibility_cutoff(self):
+        # A back-invalidation queued *after* the slot started must not
+        # shadow a capacity write-back that was already waiting.
+        pwb = PendingWritebackBuffer(0)
+        pwb.push(writeback(block=1, at=0))
+        pwb.push(
+            writeback(block=2, at=100, reason=WritebackReason.BACK_INVALIDATION)
+        )
+        assert pwb.peek(before=50).block == 1
+        assert pwb.pop(before=50).block == 1
+        assert pwb.peek(before=50) is None
+
 
 class TestArbitrationPolicyParse:
     @pytest.mark.parametrize(

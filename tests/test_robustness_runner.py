@@ -287,6 +287,141 @@ class TestManifestAndResume:
         )
 
 
+class TestManifestDurability:
+    def test_save_leaves_no_tmp_file(self, tmp_path):
+        path = tmp_path / "m.json"
+        CampaignRunner(manifest_path=path).run([("a", lambda: 1)])
+        assert path.exists()
+        assert not (tmp_path / "m.json.tmp").exists()
+
+    def test_load_removes_stale_tmp_leftover(self, tmp_path):
+        path = tmp_path / "m.json"
+        stale = tmp_path / "m.json.tmp"
+        stale.write_text("torn half-write from a crashed checkpoint")
+        manifest = RunManifest.load(path)
+        assert not stale.exists()
+        assert manifest.tasks == {}
+
+    def test_load_removes_stale_tmp_next_to_real_manifest(self, tmp_path):
+        path = tmp_path / "m.json"
+        CampaignRunner(manifest_path=path).run([("a", lambda: 1)])
+        stale = tmp_path / "m.json.tmp"
+        stale.write_text("torn")
+        manifest = RunManifest.load(path)
+        assert not stale.exists()
+        assert manifest.is_done("a")
+
+
+class TestTimeoutUnenforceable:
+    def test_off_main_thread_warns_once_and_flags_entries(self, tmp_path):
+        import threading
+        import warnings
+
+        path = tmp_path / "m.json"
+        captured = []
+
+        def work():
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                runner = CampaignRunner(manifest_path=path, timeout=5.0)
+                runner.run([("a", lambda: 1), ("b", lambda: 2)])
+                captured.extend(caught)
+
+        thread = threading.Thread(target=work)
+        thread.start()
+        thread.join()
+        loud = [w for w in captured if issubclass(w.category, RuntimeWarning)]
+        # One loud warning per runner, not one per task.
+        assert len(loud) == 1
+        assert "cannot be enforced" in str(loud[0].message)
+        manifest = RunManifest.load(path)
+        assert manifest.tasks["a"]["timeout_enforced"] is False
+        assert manifest.tasks["b"]["timeout_enforced"] is False
+        # The tasks still ran (untimed) to completion.
+        assert manifest.is_done("a") and manifest.is_done("b")
+
+    def test_main_thread_entries_carry_no_flag(self, tmp_path):
+        path = tmp_path / "m.json"
+        CampaignRunner(manifest_path=path, timeout=5.0).run([("a", lambda: 1)])
+        assert "timeout_enforced" not in RunManifest.load(path).tasks["a"]
+
+    def test_no_timeout_means_no_warning_off_main_thread(self, tmp_path):
+        import threading
+        import warnings
+
+        captured = []
+
+        def work():
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                CampaignRunner(manifest_path=tmp_path / "m.json").run(
+                    [("a", lambda: 1)]
+                )
+                captured.extend(caught)
+
+        thread = threading.Thread(target=work)
+        thread.start()
+        thread.join()
+        assert not [
+            w for w in captured if issubclass(w.category, RuntimeWarning)
+        ]
+
+
+class TestParallelKeyboardInterrupt:
+    def test_parallel_interrupt_saves_manifest_and_resumes(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.sim import parallel as parallel_mod
+        from repro.sim.parallel import PoolResult
+
+        tasks = [(f"t{i}", lambda i=i: {"value": i}) for i in range(4)]
+        ref_path = tmp_path / "ref.json"
+        CampaignRunner(manifest_path=ref_path).run(tasks)
+
+        # A pool that delivers one completion, then takes the interrupt
+        # in the parent (workers never propagate KeyboardInterrupt —
+        # the pool ships it back as a quarantined error instead).
+        def interrupted_run(self, pool_tasks, on_result):
+            name, thunk = pool_tasks[0]
+            on_result(
+                PoolResult(
+                    index=0,
+                    name=name,
+                    status="done",
+                    value=thunk(),
+                    attempts=1,
+                    elapsed_seconds=0.0,
+                )
+            )
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(parallel_mod, "parallel_available", lambda: True)
+        monkeypatch.setattr(parallel_mod.TaskPool, "run", interrupted_run)
+        path = tmp_path / "m.json"
+        with pytest.raises(KeyboardInterrupt):
+            CampaignRunner(manifest_path=path, jobs=2).run(tasks)
+
+        # The manifest is loadable and holds exactly the finished task.
+        partial = RunManifest.load(path)
+        assert partial.is_done("t0")
+        assert not partial.is_done("t3")
+
+        # Resuming (serially, to keep the pool out of it) completes the
+        # campaign with results identical to the uninterrupted run.
+        monkeypatch.undo()
+        resumed = CampaignRunner(manifest_path=path).run(tasks)
+        assert [o.status for o in resumed.outcomes] == [
+            "skipped",
+            "done",
+            "done",
+            "done",
+        ]
+        assert (
+            RunManifest.load(path).results()
+            == RunManifest.load(ref_path).results()
+        )
+
+
 class TestRobustSweep:
     CONFIG = small_config(num_cores=2)
 
