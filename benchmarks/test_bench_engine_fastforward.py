@@ -1,0 +1,119 @@
+"""Benchmark: idle-slot fast-forward speedup gate.
+
+The fast engine exists for one reason: sparse workloads — long think
+times between accesses — spend almost all their slots idle, and the
+reference loop burns a full arbitration pass on each one.  The gate:
+
+* **sparse** (think gaps of ~200k cycles, thousands of idle slots per
+  access): the fast engine must finish at least **5× faster** than the
+  reference loop, with byte-identical exported reports;
+* **dense** (back-to-back accesses, nothing to skip): the per-slot
+  prefilter must stay in the noise — fast may cost at most **1.5×**
+  the reference wall clock.
+
+Times are min-of-N ``perf_counter`` so scheduler jitter does not flake
+the gate.
+"""
+
+import dataclasses
+import json
+import time
+
+from repro.experiments.configs import build_system_for_notation
+from repro.sim.export import report_to_dict
+from repro.sim.simulator import simulate
+from repro.workloads.synthetic import (
+    SyntheticWorkloadConfig,
+    generate_disjoint_workload,
+)
+
+from bench_common import emit
+
+#: The 5× sparse gate and 1.5× dense bound, asserted below.
+SPARSE_MIN_SPEEDUP = 5.0
+DENSE_MAX_OVERHEAD = 1.5
+
+
+def _config(engine):
+    base = build_system_for_notation("SS(1,16,4)", num_cores=4)
+    return dataclasses.replace(base, engine=engine)
+
+
+def _workload(num_requests, max_think_cycles, seed=2022):
+    workload = SyntheticWorkloadConfig(
+        num_requests=num_requests,
+        address_range_size=4096,
+        write_fraction=1.0,
+        seed=seed,
+        max_think_cycles=max_think_cycles,
+    )
+    return generate_disjoint_workload(workload, [0, 1, 2, 3])
+
+
+def _best_of(engine, traces, rounds):
+    """Min-of-N wall clock plus the (identical every round) report."""
+    config = _config(engine)
+    best = float("inf")
+    report = None
+    for _ in range(rounds):
+        started = time.perf_counter()
+        report = simulate(config, traces)
+        best = min(best, time.perf_counter() - started)
+    return best, report
+
+
+def _exported(report):
+    return json.dumps(report_to_dict(report), sort_keys=True)
+
+
+def test_sparse_fast_forward_speedup(benchmark):
+    traces = _workload(num_requests=40, max_think_cycles=200_000)
+    reference_seconds, reference_report = _best_of("reference", traces, rounds=2)
+
+    def run_fast():
+        return _best_of("fast", traces, rounds=3)
+
+    fast_seconds, fast_report = benchmark.pedantic(
+        run_fast, iterations=1, rounds=1
+    )
+    speedup = reference_seconds / fast_seconds
+    emit(
+        f"sparse (think<=200k): reference {reference_seconds:.3f}s"
+        f"   fast {fast_seconds:.3f}s   speedup {speedup:.1f}x"
+    )
+
+    # Bit-identity first: a fast engine that wins by diverging loses.
+    assert _exported(fast_report) == _exported(reference_report)
+    assert fast_report.slot_usage == reference_report.slot_usage
+    assert fast_report.total_slots == reference_report.total_slots
+
+    assert speedup >= SPARSE_MIN_SPEEDUP, (
+        f"fast engine is only {speedup:.1f}x on the sparse workload "
+        f"(gate: >= {SPARSE_MIN_SPEEDUP}x); the fast-forward path has "
+        "regressed or stopped engaging"
+    )
+
+
+def test_dense_no_regression(benchmark):
+    traces = _workload(num_requests=1500, max_think_cycles=0)
+    reference_seconds, reference_report = _best_of("reference", traces, rounds=3)
+
+    def run_fast():
+        return _best_of("fast", traces, rounds=3)
+
+    fast_seconds, fast_report = benchmark.pedantic(
+        run_fast, iterations=1, rounds=1
+    )
+    overhead = fast_seconds / reference_seconds
+    emit(
+        f"dense (no think): reference {reference_seconds:.3f}s"
+        f"   fast {fast_seconds:.3f}s   overhead {overhead:.2f}x"
+    )
+
+    assert _exported(fast_report) == _exported(reference_report)
+
+    assert overhead <= DENSE_MAX_OVERHEAD, (
+        f"fast engine costs {overhead:.2f}x on a dense workload "
+        f"(budget: <= {DENSE_MAX_OVERHEAD}x); the per-slot prefilter "
+        "has grown too expensive"
+    )

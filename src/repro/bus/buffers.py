@@ -185,6 +185,17 @@ class PendingWritebackBuffer:
         """The write-back ``pop`` would return, without removing it."""
         return self._select(before)
 
+    def earliest_enqueue(self) -> Optional[Cycle]:
+        """Smallest ``enqueued_at`` among queued entries, or ``None``.
+
+        The cycle from which *some* entry is slot-eligible — the
+        fast-forward engine uses it to place this buffer's next
+        actionable slot without scanning every intermediate slot.
+        """
+        if not self._entries:
+            return None
+        return min(entry.enqueued_at for entry in self._entries)
+
     def blocks(self) -> list[BlockAddress]:
         """Blocks currently queued, oldest first."""
         return [entry.block for entry in self._entries]

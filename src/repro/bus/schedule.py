@@ -53,6 +53,10 @@ class TdmSchedule:
         require_positive(slot_width, "slot_width", ScheduleError)
         object.__setattr__(self, "slot_owners", owners)
         object.__setattr__(self, "slot_width", slot_width)
+        # Memoised slots_of results: next_slot_of sits on the engine's
+        # fast-forward path, where rebuilding the position tuple per
+        # call would dominate the candidate computation.
+        object.__setattr__(self, "_positions", {})
 
     @classmethod
     def parse(cls, text: str, slot_width: int) -> "TdmSchedule":
@@ -99,7 +103,13 @@ class TdmSchedule:
 
     def slots_of(self, core: CoreId) -> Tuple[int, ...]:
         """Positions (within a period) of ``core``'s slots."""
-        return tuple(i for i, owner in enumerate(self.slot_owners) if owner == core)
+        cached = self._positions.get(core)
+        if cached is None:
+            cached = tuple(
+                i for i, owner in enumerate(self.slot_owners) if owner == core
+            )
+            self._positions[core] = cached
+        return cached
 
     @property
     def is_one_slot(self) -> bool:
@@ -136,6 +146,10 @@ class TdmSchedule:
 
     def slot_end(self, slot: SlotIndex) -> Cycle:
         """One past the last cycle of absolute slot ``slot``."""
+        if slot < 0:
+            raise ScheduleError(
+                f"slot_end: slot index must be non-negative, got {slot}"
+            )
         return self.slot_start(slot) + self.slot_width
 
     def slot_of_cycle(self, cycle: Cycle) -> SlotIndex:
@@ -162,7 +176,22 @@ class TdmSchedule:
 
         A request that becomes ready exactly at a slot boundary can use
         that slot; one that becomes ready mid-slot waits for the next.
+
+        ``from_cycle`` must be non-negative: simulation time starts at
+        cycle 0, and Python's floor division would otherwise round a
+        negative cycle *down* to a negative candidate slot — either a
+        wrong (too early) answer or a confusing "slot index must be
+        non-negative" error surfacing from ``slot_start``.
+
+        >>> one_slot_tdm(2, 50).next_slot_start(1, 50)
+        50
+        >>> one_slot_tdm(2, 50).next_slot_start(1, 51)
+        150
         """
+        if from_cycle < 0:
+            raise ScheduleError(
+                f"next_slot_start: from_cycle must be non-negative, got {from_cycle}"
+            )
         first_candidate = (from_cycle + self.slot_width - 1) // self.slot_width
         return self.slot_start(self.next_slot_of(core, first_candidate))
 

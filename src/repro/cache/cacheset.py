@@ -107,3 +107,15 @@ class CacheSet:
             if line is None:
                 return way
         return None
+
+    def clone(self) -> "CacheSet":
+        """An independent copy with identical contents and policy state."""
+        dup = CacheSet.__new__(CacheSet)
+        dup.ways = self.ways
+        dup.policy = self.policy.clone()
+        dup._slots = [
+            None if line is None else CacheLine(block=line.block, dirty=line.dirty)
+            for line in self._slots
+        ]
+        dup._index = dict(self._index)
+        return dup

@@ -18,6 +18,7 @@ to the requesting core's partition ways, excluding entries that are
 
 from __future__ import annotations
 
+import copy
 import random
 from typing import Callable, Optional, Sequence
 
@@ -48,6 +49,16 @@ class ReplacementPolicy:
     def victim(self, candidates: Sequence[int]) -> int:
         """Pick the way to evict among ``candidates`` (non-empty)."""
         raise NotImplementedError
+
+    def clone(self) -> "ReplacementPolicy":
+        """An independent copy with identical decision state.
+
+        Used by the fast-forward engine's next-miss prediction, which
+        replays a core's trace against a throwaway copy of its private
+        stack.  Subclasses override this with cheap field copies; the
+        deep-copy fallback keeps custom policies correct.
+        """
+        return copy.deepcopy(self)
 
     def _check_candidates(self, candidates: Sequence[int]) -> None:
         if not candidates:
@@ -82,6 +93,12 @@ class LruPolicy(ReplacementPolicy):
         self._check_candidates(candidates)
         return min(candidates, key=lambda way: self._last_use[way])
 
+    def clone(self) -> "LruPolicy":
+        dup = LruPolicy(self.ways)
+        dup._clock = self._clock
+        dup._last_use = self._last_use.copy()
+        return dup
+
 
 class MruPolicy(ReplacementPolicy):
     """Most-recently-used; useful as a pathological ablation point."""
@@ -107,6 +124,12 @@ class MruPolicy(ReplacementPolicy):
     def victim(self, candidates: Sequence[int]) -> int:
         self._check_candidates(candidates)
         return max(candidates, key=lambda way: self._last_use[way])
+
+    def clone(self) -> "MruPolicy":
+        dup = MruPolicy(self.ways)
+        dup._clock = self._clock
+        dup._last_use = self._last_use.copy()
+        return dup
 
 
 class NmruPolicy(ReplacementPolicy):
@@ -136,6 +159,11 @@ class NmruPolicy(ReplacementPolicy):
                 return way
         return candidates[0]
 
+    def clone(self) -> "NmruPolicy":
+        dup = NmruPolicy(self.ways)
+        dup._mru = self._mru
+        return dup
+
 
 class FifoPolicy(ReplacementPolicy):
     """First-in-first-out, by fill order."""
@@ -156,6 +184,12 @@ class FifoPolicy(ReplacementPolicy):
         self._check_candidates(candidates)
         return min(candidates, key=lambda way: self._filled_at[way])
 
+    def clone(self) -> "FifoPolicy":
+        dup = FifoPolicy(self.ways)
+        dup._clock = self._clock
+        dup._filled_at = self._filled_at.copy()
+        return dup
+
 
 class RoundRobinPolicy(ReplacementPolicy):
     """Rotating victim pointer, as in many embedded cores."""
@@ -174,6 +208,11 @@ class RoundRobinPolicy(ReplacementPolicy):
                 return way
         raise AssertionError("unreachable: candidates validated non-empty")
 
+    def clone(self) -> "RoundRobinPolicy":
+        dup = RoundRobinPolicy(self.ways)
+        dup._pointer = self._pointer
+        return dup
+
 
 class RandomPolicy(ReplacementPolicy):
     """Uniform random victim, from a seeded stream for reproducibility."""
@@ -185,6 +224,15 @@ class RandomPolicy(ReplacementPolicy):
     def victim(self, candidates: Sequence[int]) -> int:
         self._check_candidates(candidates)
         return self._rng.choice(list(candidates))
+
+    def clone(self) -> "RandomPolicy":
+        # The copy gets a forked RNG at the same state.  Note a clone's
+        # draws do NOT advance the original (shared) stream — which is
+        # exactly why the fast-forward engine refuses to predict under a
+        # "random" policy rather than relying on this method.
+        dup = RandomPolicy(self.ways, random.Random())
+        dup._rng.setstate(self._rng.getstate())
+        return dup
 
 
 class PlruTreePolicy(ReplacementPolicy):
@@ -249,6 +297,11 @@ class PlruTreePolicy(ReplacementPolicy):
                 return way
         raise AssertionError("unreachable: candidates validated non-empty")
 
+    def clone(self) -> "PlruTreePolicy":
+        dup = PlruTreePolicy(self.ways)
+        dup._bits = self._bits.copy()
+        return dup
+
 
 class OraclePolicy(ReplacementPolicy):
     """Victim selection delegated to a caller-supplied chooser.
@@ -289,6 +342,15 @@ class OraclePolicy(ReplacementPolicy):
                 f"oracle chooser returned way {way}, not in candidates {list(candidates)}"
             )
         return way
+
+    def clone(self) -> "OraclePolicy":
+        # The chooser callback is shared, not copied: it belongs to the
+        # experiment.  A stateful chooser therefore sees a clone's extra
+        # calls, which is why the fast-forward engine refuses to predict
+        # through an "oracle" private stack.
+        dup = OraclePolicy(self.ways, self._chooser)
+        dup._set_index = self._set_index
+        return dup
 
 
 _FACTORIES = {

@@ -134,3 +134,26 @@ class SetAssociativeCache:
     def find(self, block: BlockAddress) -> Optional[CacheLine]:
         """The resident line record for ``block``, if any."""
         return self.set_for(block).find(block)
+
+    def clone(self) -> "SetAssociativeCache":
+        """An independent copy with identical contents, policy state and
+        stats — orders of magnitude cheaper than ``copy.deepcopy``,
+        which is what makes the fast-forward engine's next-miss
+        prediction affordable."""
+        dup = SetAssociativeCache.__new__(SetAssociativeCache)
+        dup.name = self.name
+        dup.num_sets = self.num_sets
+        dup.ways = self.ways
+        dup.policy_name = self.policy_name
+        dup.stats = CacheStats(
+            accesses=self.stats.accesses,
+            hits=self.stats.hits,
+            misses=self.stats.misses,
+            fills=self.stats.fills,
+            evictions=self.stats.evictions,
+            dirty_evictions=self.stats.dirty_evictions,
+            invalidations=self.stats.invalidations,
+            dirty_invalidations=self.stats.dirty_invalidations,
+        )
+        dup._sets = [cache_set.clone() for cache_set in self._sets]
+        return dup

@@ -79,6 +79,7 @@ def _cmd_fig7(args: argparse.Namespace) -> int:
         checked=args.checked,
         jobs=args.jobs,
         with_metrics=bool(args.metrics),
+        engine=args.engine,
     )
     print(result.render())
     if args.metrics:
@@ -105,6 +106,7 @@ def _cmd_fig8(args: argparse.Namespace) -> int:
         seed=args.seed,
         jobs=args.jobs,
         with_metrics=bool(args.metrics),
+        engine=args.engine,
     )
     print(result.render())
     print(
@@ -173,10 +175,12 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.workloads.suites import get_suite
 
     config = build_system_for_notation(args.notation, num_cores=args.cores)
-    if args.checked:
-        import dataclasses
+    import dataclasses
 
+    if args.checked:
         config = dataclasses.replace(config, checked=True)
+    if args.engine:
+        config = dataclasses.replace(config, engine=args.engine)
     suite = get_suite(args.suite)
     if args.seeds:
         conflicting = [
@@ -403,6 +407,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         seed=args.seed,
         jobs=args.jobs,
         with_metrics=bool(args.metrics),
+        engine=args.engine,
     )
     print(result.render())
     print(
@@ -430,6 +435,7 @@ def _cmd_all(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         progress=print,
         with_metrics=bool(args.metrics),
+        engine=args.engine,
     )
     print("\n" + result.summary())
     print(f"\nartifacts written to {args.out}/")
@@ -528,6 +534,17 @@ def build_parser() -> argparse.ArgumentParser:
             "deterministically, so any value yields identical output",
         )
 
+    def add_engine_arg(sub_parser: argparse.ArgumentParser) -> None:
+        sub_parser.add_argument(
+            "--engine",
+            choices=["fast", "reference"],
+            default=None,
+            help="slot engine: 'fast' skips provably idle slot stretches "
+            "in O(cores), 'reference' ticks every slot; reports, metrics "
+            "and figures are bit-identical under either (default: the "
+            "config's engine, normally 'fast')",
+        )
+
     def add_metrics_arg(sub_parser: argparse.ArgumentParser) -> None:
         sub_parser.add_argument(
             "--metrics",
@@ -542,6 +559,7 @@ def build_parser() -> argparse.ArgumentParser:
     fig7.add_argument("--seed", type=int, default=2022)
     add_jobs_arg(fig7)
     add_metrics_arg(fig7)
+    add_engine_arg(fig7)
     fig7.add_argument(
         "--adversarial",
         action="store_true",
@@ -562,6 +580,7 @@ def build_parser() -> argparse.ArgumentParser:
     fig8.add_argument("--seed", type=int, default=2022)
     add_jobs_arg(fig8)
     add_metrics_arg(fig8)
+    add_engine_arg(fig8)
     fig8.set_defaults(func=_cmd_fig8)
 
     bounds = sub.add_parser("bounds", help="print analytical WCL bounds")
@@ -612,6 +631,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_jobs_arg(simulate_cmd)
     add_metrics_arg(simulate_cmd)
+    add_engine_arg(simulate_cmd)
     simulate_cmd.add_argument("--json", help="write the aggregate report here")
     simulate_cmd.add_argument("--csv", help="write per-request records here")
     simulate_cmd.add_argument(
@@ -699,6 +719,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_jobs_arg(all_cmd)
     add_metrics_arg(all_cmd)
+    add_engine_arg(all_cmd)
     all_cmd.set_defaults(func=_cmd_all)
 
     fuzz_cmd = sub.add_parser(
@@ -781,6 +802,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_workload_args(compare_cmd)
     add_jobs_arg(compare_cmd)
     add_metrics_arg(compare_cmd)
+    add_engine_arg(compare_cmd)
     compare_cmd.set_defaults(func=_cmd_compare)
     return parser
 

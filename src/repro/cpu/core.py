@@ -38,6 +38,27 @@ class MissInfo:
     at_cycle: Cycle
 
 
+#: Advance horizon used for next-miss prediction — far beyond any
+#: reachable simulation time, so a prediction either finds the next L2
+#: miss or replays the trace to completion.
+_PREDICTION_HORIZON: Cycle = 1 << 62
+
+
+@dataclass(frozen=True)
+class CorePrediction:
+    """What a ``RUNNING`` core will do next, bus-wise.
+
+    Exactly one of the two fields is set: ``miss_at`` when the core's
+    next non-private access is an L2 miss at that cycle, ``finish_at``
+    when the remaining trace completes on private hits alone.  For a
+    ``BLOCKED`` core both are ``None`` — its future depends on the LLC
+    response, which only the engine knows.
+    """
+
+    miss_at: Optional[Cycle] = None
+    finish_at: Optional[Cycle] = None
+
+
 class TraceDrivenCore:
     """Replays one memory trace through a private stack."""
 
@@ -68,6 +89,10 @@ class TraceDrivenCore:
         )
         self.private_hits = 0
         self.llc_requests = 0
+        # Next-miss prediction cache, keyed on the private stack's
+        # version counter (see predict_next_bus_event).
+        self._prediction: Optional[CorePrediction] = None
+        self._prediction_version: Optional[int] = None
 
     @property
     def done(self) -> bool:
@@ -141,6 +166,71 @@ class TraceDrivenCore:
         self.state = CoreState.RUNNING
         if self.position >= len(self.trace):
             self._finish()
+
+    def predict_next_bus_event(self) -> CorePrediction:
+        """Predict the core's next bus-visible event without side effects.
+
+        Replays the remaining trace against a *clone* of the private
+        stack through the real :meth:`advance` code path (so hit/miss
+        decisions, compute-gap handling and latency accounting cannot
+        diverge from the live replay), then restores the core's state.
+        Returns the cycle of the next L2 miss, or the finish time when
+        the rest of the trace completes on private hits alone.
+
+        The result is cached against ``stack.version``: between two
+        external stack mutations (an LLC fill or a back-invalidation —
+        the only events that bump the version) the core's deterministic
+        replay follows exactly the predicted path, so the prediction
+        stays exact while the version is unchanged.  Each prediction
+        scans only the records up to the next miss, and consecutive
+        predictions scan disjoint trace segments, so the total
+        prediction cost over a run is linear in the trace length.
+
+        Only valid for deterministic replacement policies: a ``random``
+        private stack shares its RNG stream with the rest of the
+        system, and the clone's draws could not be kept in lock-step
+        (the engine forces the reference path in that case).
+        """
+        if self.state is CoreState.DONE:
+            return CorePrediction(finish_at=self.finish_time)
+        if self.state is CoreState.BLOCKED:
+            return CorePrediction()
+        if (
+            self._prediction is not None
+            and self._prediction_version == self.stack.version
+        ):
+            return self._prediction
+        saved = (
+            self.time,
+            self.position,
+            self._gap_applied,
+            self.state,
+            self.finish_time,
+            self.private_hits,
+            self.llc_requests,
+        )
+        live_stack = self.stack
+        self.stack = live_stack.clone_for_prediction()
+        try:
+            miss = self.advance(_PREDICTION_HORIZON)
+            if miss is not None:
+                prediction = CorePrediction(miss_at=miss.at_cycle)
+            else:
+                prediction = CorePrediction(finish_at=self.finish_time)
+        finally:
+            self.stack = live_stack
+            (
+                self.time,
+                self.position,
+                self._gap_applied,
+                self.state,
+                self.finish_time,
+                self.private_hits,
+                self.llc_requests,
+            ) = saved
+        self._prediction = prediction
+        self._prediction_version = live_stack.version
+        return prediction
 
     def _finish(self) -> None:
         self.state = CoreState.DONE

@@ -18,7 +18,7 @@ import random
 from dataclasses import dataclass
 from typing import List, Optional
 
-from repro.cache.line import EvictedLine
+from repro.cache.line import CacheLine, EvictedLine
 from repro.cache.sa_cache import SetAssociativeCache
 from repro.common.errors import ConfigurationError, SimulationError
 from repro.common.types import AccessType, BlockAddress, CoreId
@@ -88,6 +88,39 @@ class FillResult:
     l2_victim: Optional[EvictedLine]
 
 
+class _FrozenL2View:
+    """Read-only stand-in for the live L2 during prediction replay.
+
+    Between two external content changes (an LLC fill or a back-
+    invalidation — exactly the events that bump ``PrivateStack.version``
+    and invalidate a cached prediction) the L2's *membership* is frozen:
+    a core's own accesses touch recency and dirty bits but never install
+    or remove lines.  Stack-level hit/miss therefore only needs L2
+    membership, which this view answers straight from the live cache —
+    sparing the prediction clone the dominant cost of copying every L2
+    set.  Mutations are absorbed: ``access`` skips recency/dirty/stats
+    updates entirely, and ``find`` hands back a throwaway line copy so
+    the L1 dirtiness push-down cannot touch the live line.
+    """
+
+    __slots__ = ("_live",)
+
+    def __init__(self, live: SetAssociativeCache) -> None:
+        self._live = live
+
+    def access(self, block: BlockAddress, is_write: bool) -> bool:
+        return self._live.contains(block)
+
+    def contains(self, block: BlockAddress) -> bool:
+        return self._live.contains(block)
+
+    def find(self, block: BlockAddress):
+        line = self._live.find(block)
+        if line is None:
+            return None
+        return CacheLine(block=line.block, dirty=line.dirty)
+
+
 class PrivateStack:
     """One core's private L1I/L1D/L2 hierarchy over block addresses."""
 
@@ -112,6 +145,15 @@ class PrivateStack:
         self.l2 = SetAssociativeCache(
             f"core{core}.L2", cfg.l2_sets, cfg.l2_ways, cfg.policy, rng
         )
+        #: Bumped on every externally-driven content change — an LLC
+        #: fill (:meth:`fill_from_llc`) or inclusive back-invalidation
+        #: (:meth:`invalidate_block`).  Ordinary :meth:`access` calls do
+        #: NOT bump it: between two external changes the stack's hit/miss
+        #: answers are a pure function of the core's own access stream,
+        #: which is what lets the fast-forward engine cache its
+        #: next-miss prediction (:meth:`repro.cpu.core.TraceDrivenCore.
+        #: predict_next_bus_event`) against this counter.
+        self.version = 0
 
     # ------------------------------------------------------------------
     # Access path
@@ -139,6 +181,7 @@ class PrivateStack:
 
     def fill_from_llc(self, block: BlockAddress, access: AccessType) -> FillResult:
         """Install the LLC response for ``block`` into L2 (and L1)."""
+        self.version += 1
         l2_victim = self.l2.fill(block, access.is_write)
         merged_victim: Optional[EvictedLine] = None
         if l2_victim is not None:
@@ -198,7 +241,48 @@ class PrivateStack:
             dirty = dirty or removed_l2.dirty
         if not present:
             return None
+        self.version += 1
         return EvictedLine(block=block, dirty=dirty)
+
+    # ------------------------------------------------------------------
+    # Cloning (next-miss prediction)
+    # ------------------------------------------------------------------
+    def clone(self) -> "PrivateStack":
+        """An independent copy of the whole stack, identical in every
+        hit/miss-relevant way.
+
+        The fast-forward engine replays a core's remaining trace against
+        a clone to predict its next L2 miss without touching the live
+        stack.  ``config`` is a frozen dataclass and safely shared.
+        """
+        dup = PrivateStack.__new__(PrivateStack)
+        dup.core = self.core
+        dup.config = self.config
+        dup.l1i = None if self.l1i is None else self.l1i.clone()
+        dup.l1d = None if self.l1d is None else self.l1d.clone()
+        dup.l2 = self.l2.clone()
+        dup.version = self.version
+        return dup
+
+    def clone_for_prediction(self) -> "PrivateStack":
+        """A throwaway stack for next-miss prediction replay.
+
+        Like :meth:`clone`, but the L2 is a :class:`_FrozenL2View` over
+        the live cache instead of a copy: prediction only runs while the
+        L2's membership is frozen (see the view's docstring), and the
+        L1s — whose contents do evolve with the core's own accesses, and
+        whose hit level decides per-record latency — are small.  This is
+        what keeps each fresh prediction cheap enough for the fast-
+        forward engine to pay for itself.
+        """
+        dup = PrivateStack.__new__(PrivateStack)
+        dup.core = self.core
+        dup.config = self.config
+        dup.l1i = None if self.l1i is None else self.l1i.clone()
+        dup.l1d = None if self.l1d is None else self.l1d.clone()
+        dup.l2 = _FrozenL2View(self.l2)  # type: ignore[assignment]
+        dup.version = self.version
+        return dup
 
     # ------------------------------------------------------------------
     # Introspection

@@ -105,6 +105,7 @@ def compare_notations(
     seed: int = 2022,
     jobs: int = 1,
     with_metrics: bool = False,
+    engine: Optional[str] = None,
 ) -> CompareResult:
     """Run every notation against the same suite-built traces.
 
@@ -113,7 +114,8 @@ def compare_notations(
     result equals a serial run.  With ``with_metrics=True`` each
     notation's report is distilled into a ``config``-labelled registry
     inside its task (workers ship picklable registries, not reports)
-    and merged in notation order into ``result.metrics``.
+    and merged in notation order into ``result.metrics``.  ``engine``
+    overrides :attr:`SystemConfig.engine` for every notation's run.
     """
     from repro.sim.parallel import parallel_available, run_parallel
 
@@ -129,7 +131,7 @@ def compare_notations(
         notation: str,
     ) -> Tuple[CompareRow, Optional["MetricsRegistry"]]:
         config = build_system_for_notation(notation, num_cores=num_cores)
-        report = simulate(config, traces)
+        report = simulate(config, traces, engine=engine)
         bounds = derive_core_bounds(config)
         finite = [b.cycles for b in bounds.values() if b.cycles is not None]
         row = CompareRow(

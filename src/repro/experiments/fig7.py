@@ -132,6 +132,7 @@ def run_fig7(
     checked: bool = False,
     jobs: int = 1,
     with_metrics: bool = False,
+    engine: Optional[str] = None,
 ) -> Fig7Result:
     """Run the full Figure 7 sweep.
 
@@ -165,6 +166,10 @@ def run_fig7(
     ``config``/``range`` and merged into ``result.metrics``.  Cells are
     collected from the canonically ordered reports in the parent
     process, so ``--jobs N`` metrics are bit-identical to serial.
+
+    ``engine`` overrides :attr:`SystemConfig.engine` for every cell
+    (``"fast"`` or ``"reference"``); the fast engine's idle-slot
+    jumps are report-identical, so the figure is the same either way.
     """
     import dataclasses
 
@@ -193,7 +198,7 @@ def run_fig7(
             (
                 f"{notation_text}/range-{address_range}",
                 lambda config=config, address_range=address_range, steer=steer: (
-                    _run_one(config, address_range, num_requests, seed, steer)
+                    _run_one(config, address_range, num_requests, seed, steer, engine)
                 ),
             )
             for notation_text, config, bound, address_range, steer in cells
@@ -201,7 +206,7 @@ def run_fig7(
         reports = run_parallel(tasks, jobs=jobs)
     else:
         reports = [
-            _run_one(config, address_range, num_requests, seed, steer)
+            _run_one(config, address_range, num_requests, seed, steer, engine)
             for _, config, _, address_range, steer in cells
         ]
 
@@ -251,7 +256,12 @@ def _adversarial_system(notation: PartitionNotation):
 
 
 def _run_one(
-    config, address_range: int, num_requests: int, seed: int, steer: bool = False
+    config,
+    address_range: int,
+    num_requests: int,
+    seed: int,
+    steer: bool = False,
+    engine: Optional[str] = None,
 ) -> SimReport:
     from repro.sim.simulator import Simulator
 
@@ -264,9 +274,9 @@ def _run_one(
     )
     traces = generate_disjoint_workload(workload, list(range(config.num_cores)))
     if not steer:
-        return simulate(config, traces)
+        return simulate(config, traces, engine=engine)
     from repro.experiments.tightness import install_adversarial_replacement
 
-    sim = Simulator(config, traces)
+    sim = Simulator(config, traces, engine=engine)
     install_adversarial_replacement(sim)
     return sim.run()

@@ -194,6 +194,7 @@ def _run_cell(
     num_requests: int,
     seed: int,
     with_metrics: bool = False,
+    engine: Optional[str] = None,
 ) -> Tuple[int, Optional["MetricsRegistry"]]:
     """One (range, configuration) cell: makespan plus optional metrics.
 
@@ -207,7 +208,7 @@ def _run_cell(
     """
     traces = graded_workload(num_cores, address_range, num_requests, seed)
     config = fig8_system(kind, num_cores, capacity, seed=seed)
-    report = simulate(config, traces)
+    report = simulate(config, traces, engine=engine)
     if not with_metrics:
         return report.makespan, None
     from repro.obs.collect import collect_metrics
@@ -225,6 +226,7 @@ def run_fig8(
     seed: int = 2022,
     jobs: int = 1,
     with_metrics: bool = False,
+    engine: Optional[str] = None,
 ) -> Fig8Result:
     """Run one sub-figure (``"8a"`` .. ``"8d"``).
 
@@ -234,7 +236,9 @@ def run_fig8(
     identical to a serial run.  With ``with_metrics=True`` each cell
     returns a relabelled registry alongside its makespan; the cells
     merge in canonical order into ``result.metrics``, so parallel
-    metrics are bit-identical to serial too.
+    metrics are bit-identical to serial too.  ``engine`` overrides
+    :attr:`SystemConfig.engine` per cell (``"fast"``/``"reference"``);
+    the figures are bit-identical under either engine.
     """
     from repro.sim.parallel import parallel_available, run_parallel
 
@@ -260,6 +264,7 @@ def run_fig8(
                     num_requests,
                     seed,
                     with_metrics,
+                    engine,
                 ),
             )
             for address_range, kind in cells
@@ -275,6 +280,7 @@ def run_fig8(
                 num_requests,
                 seed,
                 with_metrics,
+                engine,
             )
             for address_range, kind in cells
         ]

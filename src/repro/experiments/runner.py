@@ -113,9 +113,17 @@ def _constants_artifact() -> ArtifactResult:
 
 
 def _fig7_artifact(
-    num_requests: int, jobs: int = 1, with_metrics: bool = False
+    num_requests: int,
+    jobs: int = 1,
+    with_metrics: bool = False,
+    engine: Optional[str] = None,
 ) -> ArtifactResult:
-    result = run_fig7(num_requests=num_requests, jobs=jobs, with_metrics=with_metrics)
+    result = run_fig7(
+        num_requests=num_requests,
+        jobs=jobs,
+        with_metrics=with_metrics,
+        engine=engine,
+    )
     metrics = (
         result.metrics.relabel(artifact="figure-7")
         if result.metrics is not None
@@ -144,9 +152,14 @@ def _fig8_artifact(
     num_requests: int,
     jobs: int = 1,
     with_metrics: bool = False,
+    engine: Optional[str] = None,
 ) -> ArtifactResult:
     result = run_fig8(
-        subfigure, num_requests=num_requests, jobs=jobs, with_metrics=with_metrics
+        subfigure,
+        num_requests=num_requests,
+        jobs=jobs,
+        with_metrics=with_metrics,
+        engine=engine,
     )
     ties = all(
         row.ss_cycles == row.nss_cycles == row.p_cycles
@@ -235,6 +248,7 @@ def artifact_steps(
     tightness_repeats: int = 25,
     jobs: int = 1,
     with_metrics: bool = False,
+    engine: Optional[str] = None,
 ) -> List[Tuple[str, Callable[[], ArtifactResult]]]:
     """Every reproduction artifact as a ``(name, thunk)`` pair.
 
@@ -247,15 +261,22 @@ def artifact_steps(
     ``jobs`` parallelises the grid *inside* the figure artifacts; leave
     it at 1 when the campaign itself fans artifacts out across workers
     (``run_all_robust(jobs=N)``) so the process tree stays bounded.
+    ``engine`` overrides :attr:`SystemConfig.engine` inside the figure
+    artifacts (the scripted witnesses pin their own engine).
     """
     steps: List[Tuple[str, Callable[[], ArtifactResult]]] = [
         ("section-5.1-constants", _constants_artifact),
-        ("figure-7", lambda: _fig7_artifact(num_requests, jobs, with_metrics)),
+        (
+            "figure-7",
+            lambda: _fig7_artifact(num_requests, jobs, with_metrics, engine),
+        ),
     ]
     steps.extend(
         (
             f"figure-{sub}",
-            lambda sub=sub: _fig8_artifact(sub, num_requests, jobs, with_metrics),
+            lambda sub=sub: _fig8_artifact(
+                sub, num_requests, jobs, with_metrics, engine
+            ),
         )
         for sub in sorted(SUBFIGURES)
     )
@@ -276,6 +297,7 @@ def run_all(
     jobs: int = 1,
     progress: Optional[Callable[[str], None]] = None,
     with_metrics: bool = False,
+    engine: Optional[str] = None,
 ) -> RunAllResult:
     """Regenerate every artifact; optionally write them to ``out_dir``.
 
@@ -288,7 +310,7 @@ def run_all(
     """
     result = RunAllResult()
     for _, step in artifact_steps(
-        num_requests, tightness_repeats, jobs, with_metrics
+        num_requests, tightness_repeats, jobs, with_metrics, engine
     ):
         artifact = step()
         if progress is not None:

@@ -369,7 +369,12 @@ def run_fuzz_case(case: FuzzCase) -> FuzzCaseResult:
     else:
         completed = len(report.requests)
         total_slots = report.total_slots
-        oracle_report = check_run(report, config)
+        # A clean (fault-free) case is re-runnable, which arms the
+        # oracle's engine-differential check: every fuzz campaign then
+        # exercises the fast engine against the reference loop.
+        oracle_report = check_run(
+            report, config, traces=traces if case.fault is None else None
+        )
     signature = failure_signature(error_type, oracle_report)
     return FuzzCaseResult(
         case_id=case.case_id,

@@ -49,19 +49,31 @@ Checks performed by :func:`check_run`:
 ``completion``
     A run whose every core has a finite analytical bound must not
     starve (Observation 2: 1S-TDM terminates).
+``engine-differential``
+    When the caller hands over the run's input traces, the whole
+    simulation is re-run under the *other* engine (``fast`` ⇄
+    ``reference``) and the two reports are compared at exporter-byte
+    level — the fast engine's idle-slot jumps must be invisible in
+    every exported number, and ``slot_usage``/``total_slots`` must
+    match exactly.  Skipped when no traces are given (a fault-injected
+    run is not re-runnable: hooks force the reference path, and the
+    second run would not see the faults).
 """
 
 from __future__ import annotations
 
+import dataclasses
+import json
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Set, Tuple
 
 from repro.analysis.verification import derive_core_bounds
-from repro.common.errors import FuzzError
-from repro.common.types import CoreId
+from repro.common.errors import FuzzError, ReproError
+from repro.common.types import CoreId, Cycle
 from repro.sim.config import SystemConfig
 from repro.sim.events import EventKind, SimEvent
 from repro.sim.report import SimReport
+from repro.workloads.trace import MemoryTrace
 
 #: The three mutually-exclusive actions a slot's owner can take.  The
 #: engine emits exactly one of them per processed slot, which is what
@@ -92,6 +104,7 @@ ORACLE_CHECKS = (
     "response-latency",
     "analytical-bounds",
     "completion",
+    "engine-differential",
 )
 
 
@@ -474,12 +487,105 @@ def _check_bounds(
                 )
 
 
-def check_run(report: SimReport, config: SystemConfig) -> OracleReport:
+def _check_engine_differential(
+    report: SimReport,
+    config: SystemConfig,
+    traces: Mapping[CoreId, MemoryTrace],
+    start_cycles: Optional[Mapping[CoreId, Cycle]],
+    out: List[OracleViolation],
+) -> None:
+    """Re-run the whole simulation under the fast engine and diff reports.
+
+    The recorded run replays events (recording forces the engine's
+    reference per-slot loop), so re-running the same inputs with
+    ``engine="fast"`` and all observers off is a true differential:
+    the idle-slot fast-forward path against the slot-by-slot loop.
+    The comparison is at exporter-byte level — the exact JSON bytes
+    :func:`repro.sim.export.report_to_dict` serialises to — plus the
+    ``slot_usage`` and ``total_slots`` the exporter leaves out.  A
+    crash in the re-run (:class:`~repro.common.errors.ReproError`) is
+    itself a violation: the fast engine must accept every input the
+    reference engine accepts.
+    """
+    # Imported lazily: the simulator facade pulls in the robustness
+    # invariant monitor, which would cycle back into this package.
+    from repro.sim.export import report_to_dict
+    from repro.sim.simulator import Simulator
+
+    fast_config = dataclasses.replace(
+        config,
+        engine="fast",
+        record_events=False,
+        record_metrics=False,
+        checked=False,
+    )
+    try:
+        fast_report = Simulator(fast_config, traces, start_cycles).run()
+    except ReproError as exc:
+        out.append(
+            OracleViolation(
+                check="engine-differential",
+                detail=f"fast-engine re-run crashed: {type(exc).__name__}: {exc}",
+            )
+        )
+        return
+    reference_bytes = json.dumps(report_to_dict(report), sort_keys=True)
+    fast_bytes = json.dumps(report_to_dict(fast_report), sort_keys=True)
+    if reference_bytes != fast_bytes:
+        out.append(
+            OracleViolation(
+                check="engine-differential",
+                detail=(
+                    "fast-engine report diverges from the reference run at "
+                    f"exporter-byte level: reference {reference_bytes[:160]}… "
+                    f"vs fast {fast_bytes[:160]}…"
+                    if len(reference_bytes) > 160 or len(fast_bytes) > 160
+                    else "fast-engine report diverges from the reference "
+                    f"run: reference {reference_bytes} vs fast {fast_bytes}"
+                ),
+            )
+        )
+    if fast_report.slot_usage != report.slot_usage:
+        out.append(
+            OracleViolation(
+                check="engine-differential",
+                detail=(
+                    "fast-engine slot_usage diverges from the reference "
+                    f"run: reference {report.slot_usage} vs fast "
+                    f"{fast_report.slot_usage}"
+                ),
+            )
+        )
+    if fast_report.total_slots != report.total_slots:
+        out.append(
+            OracleViolation(
+                check="engine-differential",
+                detail=(
+                    f"fast-engine ran {fast_report.total_slots} slot(s), "
+                    f"reference ran {report.total_slots}"
+                ),
+            )
+        )
+
+
+def check_run(
+    report: SimReport,
+    config: SystemConfig,
+    traces: Optional[Mapping[CoreId, MemoryTrace]] = None,
+    start_cycles: Optional[Mapping[CoreId, Cycle]] = None,
+) -> OracleReport:
     """Replay ``report``'s event stream against the reference model.
 
     The run must have been recorded with ``record_events=True`` — the
     oracle has nothing to replay otherwise and raises
     :class:`~repro.common.errors.FuzzError`.
+
+    When ``traces`` is given (the exact input traces ``report`` was run
+    with, plus ``start_cycles`` if the run used them), the
+    ``engine-differential`` check additionally re-runs the simulation
+    under the fast engine and diffs the two reports byte-for-byte; see
+    :func:`_check_engine_differential`.  Leave ``traces`` as ``None``
+    for runs that are not cleanly re-runnable (e.g. fault injection).
     """
     if not report.events.enabled and report.total_slots > 0:
         raise FuzzError(
@@ -591,6 +697,10 @@ def check_run(report: SimReport, config: SystemConfig) -> OracleReport:
 
     # -- analytical bounds (Theorems 4.7 / 4.8 / private) ---------------
     _check_bounds(events, config, out)
+
+    # -- fast vs reference engine differential --------------------------
+    if traces is not None:
+        _check_engine_differential(report, config, traces, start_cycles, out)
 
     # -- completion under finite bounds ---------------------------------
     if report.timed_out:

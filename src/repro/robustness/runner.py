@@ -657,6 +657,7 @@ def run_all_robust(
     jobs: int = 1,
     progress: Optional[Callable[[str], None]] = None,
     with_metrics: bool = False,
+    engine: Optional[str] = None,
 ) -> CampaignResult:
     """Crash-tolerant ``run_all``: every artifact as a quarantinable task.
 
@@ -666,6 +667,9 @@ def run_all_robust(
     every artifact so an interrupted ``repro-llc all`` resumes instead
     of restarting.  The summary files are rebuilt from the manifest, so
     a resumed campaign reports previously-completed artifacts too.
+
+    ``engine`` is forwarded to the figure artifacts (see
+    :func:`repro.experiments.runner.artifact_steps`).
 
     ``jobs > 1`` runs the independent artifacts in worker processes
     (the artifacts themselves stay serial inside each worker, so the
@@ -700,7 +704,10 @@ def run_all_robust(
     tasks: List[Task] = [
         (name, wrap(step))
         for name, step in artifact_steps(
-            num_requests, tightness_repeats, with_metrics=with_metrics
+            num_requests,
+            tightness_repeats,
+            with_metrics=with_metrics,
+            engine=engine,
         )
     ]
     runner = CampaignRunner(

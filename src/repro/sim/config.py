@@ -99,6 +99,19 @@ class SystemConfig:
     #: reproduces the Figure 8 regime where strict partitions pay an
     #: extra write-back round trip per conflict miss.
     self_writeback_in_slot: bool = True
+    #: Which slot-engine execution strategy to use.  ``"fast"`` (the
+    #: default) enables the idle-slot fast-forward path: stretches of
+    #: bus slots in which no core can produce a transaction are skipped
+    #: analytically instead of being ticked one by one, with reports,
+    #: ``slot_usage`` and all counters bit-identical to the reference
+    #: loop (see ``docs/MODEL.md``).  ``"reference"`` always ticks every
+    #: slot.  The fast engine silently falls back to the reference loop
+    #: whenever exactness cannot be guaranteed cheaply: recorded/streamed
+    #: events, per-slot samplers (``record_metrics``), any pre/post-slot
+    #: hook (fault injection, ``checked`` invariant monitors) or a
+    #: ``random`` replacement policy (its shared RNG stream cannot be
+    #: kept in lock-step with the prediction clone).
+    engine: str = "fast"
     #: Hardware queue count of each partition's set sequencer (QLT
     #: size).  ``None`` gives one queue per LLC set (never overflows,
     #: the paper's implicit assumption); small values let experiments
@@ -120,6 +133,11 @@ class SystemConfig:
             require_positive(
                 self.sequencer_max_queues, "sequencer_max_queues", ConfigurationError
             )
+        require(
+            self.engine in ("fast", "reference"),
+            f"engine must be 'fast' or 'reference', got {self.engine!r}",
+            ConfigurationError,
+        )
         require(
             self.llc_hit_latency <= self.slot_width,
             f"llc_hit_latency ({self.llc_hit_latency}) must fit in a slot "

@@ -28,11 +28,26 @@ here:
 * **Sequencer order** (Section 4.5).  Under SS, a free entry may only be
   claimed by the head of the set's FIFO; everyone else's slot passes
   unfulfilled.
+
+Fast-forward.  With ``SystemConfig.engine == "fast"`` the engine skips
+stretches of provably idle slots: when the current slot's owner has no
+eligible PRB/PWB work, it computes the earliest *actionable* slot — the
+next slot at which any core's parked request, queued write-back or
+predicted private-stack miss can reach the bus — and jumps there,
+accounting the skipped slots' idle ``slot_usage`` analytically.  Idle
+slots mutate no model state (the round-robin arbiter is pure on an
+empty offer, and nothing touches the LLC, DRAM or sequencers), so the
+jump is exact: reports, counters and ``slot_usage`` are bit-identical
+to the reference per-slot loop.  Anything that observes or perturbs
+individual slots — event recording/streaming, per-slot samplers,
+pre/post-slot hooks (fault injection, invariant monitors) — forces the
+reference path; see ``docs/MODEL.md`` for the full eligibility rules
+and the accounting identity.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List
+from typing import Callable, List, Optional
 
 from repro.bus.buffers import (
     PendingRequest,
@@ -41,6 +56,7 @@ from repro.bus.buffers import (
 )
 from repro.common.errors import SimulationError
 from repro.common.types import CoreId, Cycle, SlotIndex, TransactionKind
+from repro.cpu.core import CoreState
 from repro.llc.llc import VictimInfo, WritebackOutcome
 from repro.sim.events import EventKind, EventLog, SimEvent
 from repro.sim.report import SimReport, build_report
@@ -89,6 +105,37 @@ class SlotEngine:
         # skips both lists entirely so benchmarks pay nothing for them.
         self._pre_slot_hooks: List[PreSlotHook] = []
         self._post_slot_hooks: List[PostSlotHook] = []
+        # Static half of the fast-forward gate.  A "random" replacement
+        # policy (private or LLC) draws from the System's shared RNG
+        # stream, which the side-effect-free next-miss prediction cannot
+        # keep in lock-step with the live replay; everything else that
+        # forces the reference loop (events, samplers, hooks) is checked
+        # per iteration in run().
+        # "oracle" private stacks are also excluded: the victim chooser
+        # is a caller-supplied (possibly stateful) callback that would
+        # observe the prediction clone's extra calls.
+        self._fast_ok = (
+            self.config.engine == "fast"
+            and self.config.llc_policy != "random"
+            and self.config.stack.policy not in ("random", "oracle")
+        )
+        # Fast-forward backoff.  When the next actionable slot is too
+        # close for a jump to pay for its own computation (dense
+        # workloads), suppress further attempts for a few slots; the
+        # penalty doubles while attempts stay unprofitable and resets on
+        # the first long jump.  Skipping attempts is always safe — the
+        # reference step handles every slot.
+        self._ff_skip = 0
+        self._ff_penalty = 0
+        # Progress counters backing the O(1) _finished() check (the
+        # reference scan is O(cores) per slot, which dominates sparse
+        # runs).  Initialised from a full scan at the top of run() —
+        # and lazily on first use — then maintained incrementally at
+        # the mutating sites (_advance_core, _pwb_push, _do_writeback).
+        self._counters_ready = False
+        self._done_count = 0
+        self._done_seen: set[CoreId] = set()
+        self._nonempty_pwbs = 0
 
     def add_pre_slot_hook(self, hook: PreSlotHook) -> None:
         """Run ``hook(engine, slot)`` before each slot is processed."""
@@ -113,10 +160,25 @@ class SlotEngine:
     def run(self) -> SimReport:
         """Simulate until every trace finishes (and write-backs drain)."""
         timed_out = False
+        self._init_progress_counters()
+        # The sampler is fixed at construction; hooks and event sinks
+        # may still be attached later (or by a hook), so those stay in
+        # the per-iteration gate.
+        fast = self._fast_ok and self._sampler is None
         while not self._finished():
             if self._slot >= self.config.max_slots:
                 timed_out = True
                 break
+            if (
+                fast
+                and not self._pre_slot_hooks
+                and not self._post_slot_hooks
+                and not self._events_on
+            ):
+                if self._ff_skip:
+                    self._ff_skip -= 1
+                elif self._try_fast_forward():
+                    continue
             if self._pre_slot_hooks:
                 # A pre-slot hook may mutate the slot counter (the
                 # dropped-slot fault does); re-check the cap afterwards.
@@ -150,12 +212,202 @@ class SlotEngine:
         )
 
     def _finished(self) -> bool:
+        if self._pre_slot_hooks:
+            # Pre-slot hooks run arbitrary user code (fault injection
+            # mutates engine and system state directly), so the
+            # incremental counters cannot be trusted; use the scan.
+            return self._finished_scan()
+        if not self._counters_ready:
+            self._init_progress_counters()
+        finished = self._done_count == len(self.system.cores) and (
+            not self.config.drain_writebacks or self._nonempty_pwbs == 0
+        )
+        if self.config.checked:
+            assert finished == self._finished_scan(), (
+                "progress counters diverged from the reference completion scan"
+            )
+        return finished
+
+    def _finished_scan(self) -> bool:
+        """Reference O(cores) completion check (see _finished)."""
         cores_done = all(core.done for core in self.system.cores.values())
         if not cores_done:
             return False
         if not self.config.drain_writebacks:
             return True
         return all(pwb.is_empty for pwb in self.system.pwbs.values())
+
+    def _init_progress_counters(self) -> None:
+        """(Re)build the completion counters from a full scan."""
+        self._done_count = 0
+        self._done_seen.clear()
+        self._nonempty_pwbs = 0
+        for core_id, core in self.system.cores.items():
+            if core.done:
+                self._done_count += 1
+                self._done_seen.add(core_id)
+            if not self.system.pwbs[core_id].is_empty:
+                self._nonempty_pwbs += 1
+        self._counters_ready = True
+
+    # ------------------------------------------------------------------
+    # Idle-slot fast-forward
+    # ------------------------------------------------------------------
+    def _candidate_slot(
+        self, core: CoreId, ready: Cycle, from_slot: SlotIndex
+    ) -> SlotIndex:
+        """First slot >= ``from_slot`` where ``core`` can send work ready
+        at cycle ``ready``.
+
+        Slot eligibility is ``enqueued_at <= slot_start``, so work ready
+        exactly on a boundary uses that slot and work ready mid-slot
+        waits for the next boundary — then for the core's next owned
+        slot from there.
+        """
+        width = self.schedule.slot_width
+        first = (ready + width - 1) // width
+        if first < from_slot:
+            first = from_slot
+        return self.schedule.next_slot_of(core, first)
+
+    def _try_fast_forward(self) -> bool:
+        """Jump over a provably idle stretch of slots, or return False.
+
+        Computes, in O(cores), the earliest *actionable* slot at or
+        after the current one — the first slot whose owner has (or will
+        have, per the side-effect-free next-miss prediction) an eligible
+        PRB request or PWB write-back — and advances directly to it,
+        accounting the skipped slots as idle analytically.  When every
+        core will instead run to completion on private hits (and, under
+        ``drain_writebacks``, every PWB is empty), the jump target is
+        the exact slot at which the reference loop's completion check
+        would fire.  Idle slots mutate no model state, so the resulting
+        report is bit-identical to ticking them one by one.
+
+        Only called when nothing observes individual slots (no events,
+        samplers or hooks — see run()); returns False whenever the
+        *current* slot is actionable, leaving it to the reference step.
+        """
+        system = self.system
+        schedule = self.schedule
+        start_slot = self._slot
+        slot_start = schedule.slot_start(start_slot)
+        # O(1) prefilter: the current owner already has eligible work.
+        owner = schedule.owner_of_slot(start_slot)
+        owner_request = system.prbs[owner].entry
+        if owner_request is not None and owner_request.enqueued_at <= slot_start:
+            return False
+        if system.pwbs[owner].peek(slot_start) is not None:
+            return False
+
+        # Cheap phase: candidates visible without prediction — parked
+        # PRB requests and queued write-backs.
+        best: Optional[SlotIndex] = None
+        quiescent = True
+        for core_id, core in system.cores.items():
+            request = system.prbs[core_id].entry
+            if request is not None:
+                quiescent = False
+                candidate = self._candidate_slot(
+                    core_id, request.enqueued_at, start_slot
+                )
+                if best is None or candidate < best:
+                    best = candidate
+            elif core.state is CoreState.BLOCKED:
+                # Blocked with no parked request: nothing will ever wake
+                # it (only a fault can produce this state).  Not
+                # quiescent, and no candidate of its own.
+                quiescent = False
+            pwb_ready = system.pwbs[core_id].earliest_enqueue()
+            if pwb_ready is not None:
+                # A queued write-back is always a candidate (it occupies
+                # its owner's slot either way), but only blocks
+                # termination when the run must drain write-backs.
+                if self.config.drain_writebacks:
+                    quiescent = False
+                candidate = self._candidate_slot(core_id, pwb_ready, start_slot)
+                if best is None or candidate < best:
+                    best = candidate
+        # Break-even point: a jump must clear the cost of the candidate
+        # scan plus any fresh predictions it triggers, which measures at
+        # a handful of idle slots' worth — ~6 periods is comfortably
+        # past it on every workload tried.
+        min_gain = 6 * schedule.period_slots
+        if best is not None and best - start_slot < min_gain:
+            # The next buffered work is too close for the prediction
+            # cost to pay off; let the reference loop walk there (and
+            # don't re-derive the same answer at every slot on the way).
+            self._ff_skip = best - start_slot - 1
+            return False
+
+        # Prediction phase: the next L2 miss (or finish) of each
+        # running core, via a side-effect-free replay (cached against
+        # the stack's version counter).
+        max_finish: Cycle = 0
+        for core_id, core in system.cores.items():
+            if core.state is not CoreState.RUNNING:
+                continue
+            prediction = core.predict_next_bus_event()
+            if prediction.miss_at is not None:
+                quiescent = False
+                candidate = self._candidate_slot(
+                    core_id, prediction.miss_at, start_slot
+                )
+                if best is None or candidate < best:
+                    best = candidate
+            elif prediction.finish_at > max_finish:
+                max_finish = prediction.finish_at
+
+        width = schedule.slot_width
+        if quiescent:
+            # Reference semantics: the last still-running core turns
+            # DONE during the advance phase of slot ceil(finish/width);
+            # the loop-top completion check then exits *before*
+            # processing the slot after it.  On a tie the completion
+            # check wins for the same reason — hence <=.
+            finish_slot = max(start_slot, -(-max_finish // width)) + 1
+            if best is None or finish_slot <= best:
+                target = finish_slot
+            else:
+                target = best
+        elif best is None:
+            # No core can ever reach the bus again (starvation): the
+            # reference loop idles to the cap, so jump straight there
+            # and let the loop top report the timeout.
+            target = self.config.max_slots
+        else:
+            target = best
+        if target > self.config.max_slots:
+            target = self.config.max_slots
+        if target - start_slot < min_gain:
+            # Prediction cost paid without a worthwhile jump: back off
+            # exponentially so dense stretches degrade to the reference
+            # loop instead of re-predicting every slot.
+            self._ff_penalty = min(self._ff_penalty * 2 + 1, 8 * min_gain)
+            self._ff_skip = self._ff_penalty
+        else:
+            self._ff_penalty = 0
+        if target <= start_slot:
+            return False
+
+        # Commit.  Advance every core exactly as far as the reference
+        # loop would have by the top of slot `target` — through slot
+        # target-1's boundary, inclusive — and never further: a later
+        # transaction may back-invalidate a line an over-advanced core
+        # would have hit on.
+        advance_until = schedule.slot_start(target - 1) + 1
+        for core_id in system.cores:
+            self._advance_core(core_id, advance_until)
+        # Slots start_slot..target-1 are all idle; account them per
+        # schedule position analytically instead of one by one.
+        period = schedule.period_slots
+        full, rem = divmod(target - start_slot, period)
+        for position, position_owner in enumerate(schedule.slot_owners):
+            extra = full + (1 if (position - start_slot) % period < rem else 0)
+            if extra:
+                self._slot_usage[position_owner]["idle"] += extra
+        self._slot = target
+        return True
 
     # ------------------------------------------------------------------
     # Core-side progress
@@ -172,7 +424,14 @@ class SlotEngine:
                     enqueued_at=miss.at_cycle,
                 )
             )
+        if core.done and core_id not in self._done_seen:
+            self._done_seen.add(core_id)
+            self._done_count += 1
         if core.done and core_id not in self._finished_cores:
+            # Kept separate from _done_seen: that set is pre-seeded with
+            # cores that were already done before run() (no event is
+            # owed for the seeding scan), while CORE_DONE must still be
+            # emitted for them here, exactly once.
             self._finished_cores.add(core_id)
             # `finish_time or 0` would misreport a legitimate cycle-0
             # finish (an empty trace) the same as a missing finish time.
@@ -209,8 +468,18 @@ class SlotEngine:
             self._slot_usage[owner]["request"] += 1
             self._do_request(owner, slot_start)
 
+    def _pwb_push(self, core: CoreId, entry: WritebackEntry) -> None:
+        """Queue a write-back, keeping the nonempty-PWB counter in step."""
+        pwb = self.system.pwbs[core]
+        if pwb.is_empty:
+            self._nonempty_pwbs += 1
+        pwb.push(entry)
+
     def _do_writeback(self, core: CoreId, slot_start: Cycle) -> None:
-        entry = self.system.pwbs[core].pop(slot_start)
+        pwb = self.system.pwbs[core]
+        entry = pwb.pop(slot_start)
+        if pwb.is_empty:
+            self._nonempty_pwbs -= 1
         pending = self.system.llc.pending_entry(entry.block)
         outcome = self.system.llc.complete_writeback(core, entry.block)
         if outcome in (WritebackOutcome.FREED, WritebackOutcome.DRAM_DIRECT):
@@ -490,13 +759,14 @@ class SlotEngine:
                 detail = "self-dirty-in-slot"
             elif is_dirty:
                 dirty_owners.append(owner)
-                self.system.pwbs[owner].push(
+                self._pwb_push(
+                    owner,
                     WritebackEntry(
                         core=owner,
                         block=victim.block,
                         reason=WritebackReason.BACK_INVALIDATION,
                         enqueued_at=slot_start,
-                    )
+                    ),
                 )
                 detail = "dirty"
             else:
@@ -534,13 +804,14 @@ class SlotEngine:
         if fill.l2_victim is not None:
             self.system.llc.note_private_drop(core, fill.l2_victim.block)
             if fill.l2_victim.dirty:
-                self.system.pwbs[core].push(
+                self._pwb_push(
+                    core,
                     WritebackEntry(
                         core=core,
                         block=fill.l2_victim.block,
                         reason=WritebackReason.CAPACITY,
                         enqueued_at=response_cycle,
-                    )
+                    ),
                 )
         self._events_on and self.events.append(
             SimEvent(
@@ -552,4 +823,13 @@ class SlotEngine:
                 detail=f"latency={request.completed_at - request.enqueued_at}",
             )
         )
-        self.system.cores[core].resume(response_cycle)
+        finishing = self.system.cores[core]
+        finishing.resume(response_cycle)
+        if finishing.done and core not in self._done_seen:
+            # A core whose trace ends on this response is DONE *now*,
+            # and the completion scan at the top of the next iteration
+            # sees it — the counters must too, or the run would process
+            # one extra slot.  CORE_DONE emission stays in _advance_core
+            # (the reference loop never reaches it for the final core).
+            self._done_seen.add(core)
+            self._done_count += 1

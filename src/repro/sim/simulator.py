@@ -10,6 +10,7 @@ harnesses) go through::
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Callable, Mapping, Optional
 
 from repro.common.types import CoreId, Cycle
@@ -35,7 +36,10 @@ class Simulator:
         traces: Mapping[CoreId, MemoryTrace],
         start_cycles: Optional[Mapping[CoreId, Cycle]] = None,
         event_sink: Optional[Callable[[SimEvent], None]] = None,
+        engine: Optional[str] = None,
     ) -> None:
+        if engine is not None and engine != config.engine:
+            config = dataclasses.replace(config, engine=engine)
         self.config = config
         self.system = System(config, traces, start_cycles)
         self.engine = SlotEngine(self.system)
@@ -61,6 +65,7 @@ def simulate(
     traces: Mapping[CoreId, MemoryTrace],
     start_cycles: Optional[Mapping[CoreId, Cycle]] = None,
     event_sink: Optional[Callable[[SimEvent], None]] = None,
+    engine: Optional[str] = None,
 ) -> SimReport:
     """Build the system described by ``config``, replay ``traces``.
 
@@ -69,6 +74,8 @@ def simulate(
     Section 4.1 witness fills the set before the victim's request).
     ``event_sink`` streams every engine event as it happens (see
     :class:`repro.obs.tracing.JsonlTraceSink`), independent of
-    ``record_events``.
+    ``record_events``.  ``engine`` overrides ``config.engine`` for this
+    run only (``"fast"`` or ``"reference"``) — the CLI's ``--engine``
+    flag lands here.
     """
-    return Simulator(config, traces, start_cycles, event_sink).run()
+    return Simulator(config, traces, start_cycles, event_sink, engine).run()

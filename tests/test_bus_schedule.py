@@ -98,6 +98,27 @@ class TestTimeArithmetic:
         with pytest.raises(ScheduleError):
             schedule.slot_of_cycle(-1)
 
+    def test_next_slot_start_rejects_negative_from_cycle(self):
+        # Floor division would round -1 *down* to candidate slot -1 —
+        # either a too-early answer or a confusing slot_start error —
+        # so the boundary must be validated at the entry point.
+        schedule = TdmSchedule((0, 1), 50)
+        with pytest.raises(ScheduleError, match="next_slot_start.*non-negative"):
+            schedule.next_slot_start(0, -1)
+
+    def test_slot_end_rejects_negative_slot(self):
+        with pytest.raises(ScheduleError, match="slot_end.*non-negative"):
+            TdmSchedule((0, 1), 50).slot_end(-1)
+
+    def test_next_slot_start_slot_width_boundaries(self):
+        # from_cycle at 0, one before a boundary, and exactly on one:
+        # the eligibility rule is "ready <= slot_start uses the slot".
+        schedule = TdmSchedule((0, 1), 50)
+        assert schedule.next_slot_start(1, 0) == 50
+        assert schedule.next_slot_start(1, 49) == 50
+        assert schedule.next_slot_start(1, 50) == 50
+        assert schedule.next_slot_start(1, 51) == 150
+
 
 class TestOneSlotFactory:
     def test_default_order(self):

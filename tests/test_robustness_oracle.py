@@ -107,6 +107,7 @@ class TestCleanRuns:
             "response-latency",
             "analytical-bounds",
             "completion",
+            "engine-differential",
         )
 
 
