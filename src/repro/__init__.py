@@ -75,14 +75,17 @@ from repro.bus.schedule import TdmSchedule, distance, one_slot_tdm
 from repro.common.errors import (
     AnalysisError,
     CampaignError,
+    CheckpointError,
     ConfigurationError,
     GeometryError,
     InvariantViolation,
     PartitionError,
     ObservabilityError,
     ReproError,
+    ResourceExceededError,
     ScheduleError,
     SimulationError,
+    TaskHungError,
     TaskTimeoutError,
     TraceError,
 )
@@ -118,8 +121,18 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     merge_all,
+    registry_from_rows,
 )
 from repro.obs.tracing import JsonlTraceSink, trace_digest
+from repro.robustness.checkpoint import (
+    AutoCheckpointPolicy,
+    clear_auto_checkpoints,
+    default_checkpoint_path,
+    install_auto_checkpoints,
+    load_checkpoint,
+    run_resumable,
+    save_checkpoint,
+)
 from repro.robustness.faults import (
     FaultInjector,
     FaultKind,
@@ -144,6 +157,7 @@ from repro.robustness.runner import (
     RobustSweepResult,
     RunManifest,
     TaskOutcome,
+    campaign_metrics,
     run_all_robust,
     sweep_seeds_robust,
 )
@@ -254,14 +268,17 @@ __all__ = [
     # errors
     "AnalysisError",
     "CampaignError",
+    "CheckpointError",
     "ConfigurationError",
     "GeometryError",
     "InvariantViolation",
     "ObservabilityError",
     "PartitionError",
     "ReproError",
+    "ResourceExceededError",
     "ScheduleError",
     "SimulationError",
+    "TaskHungError",
     "TaskTimeoutError",
     "TraceError",
     # types
@@ -276,6 +293,7 @@ __all__ = [
     "MetricsRegistry",
     "collect_metrics",
     "merge_all",
+    "registry_from_rows",
     "trace_digest",
     "write_metrics",
     # components
@@ -323,8 +341,16 @@ __all__ = [
     "RobustSweepResult",
     "RunManifest",
     "TaskOutcome",
+    "campaign_metrics",
     "run_all_robust",
     "sweep_seeds_robust",
+    "AutoCheckpointPolicy",
+    "clear_auto_checkpoints",
+    "default_checkpoint_path",
+    "install_auto_checkpoints",
+    "load_checkpoint",
+    "run_resumable",
+    "save_checkpoint",
     "OracleReport",
     "OracleViolation",
     "check_run",

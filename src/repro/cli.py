@@ -39,6 +39,7 @@ Subcommands
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from typing import List, Optional
 
@@ -71,16 +72,66 @@ def _export_metrics(registry, path: str) -> int:
     return 0
 
 
-def _cmd_fig7(args: argparse.Namespace) -> int:
-    result = run_fig7(
-        num_requests=args.requests,
-        seed=args.seed,
-        adversarial=args.adversarial,
-        checked=args.checked,
-        jobs=args.jobs,
-        with_metrics=bool(args.metrics),
-        engine=args.engine,
+@contextlib.contextmanager
+def _auto_checkpoints(args: argparse.Namespace):
+    """Install the process-wide checkpoint policy for one command.
+
+    Engaged by ``--checkpoint-dir``: every simulation the command runs
+    (including in fork-pool workers, which inherit the policy) writes
+    periodic crash-consistent checkpoints there and resumes from them
+    after a kill, with byte-identical output.
+    """
+    directory = getattr(args, "checkpoint_dir", None)
+    if not directory:
+        yield
+        return
+    from repro.robustness.checkpoint import (
+        DEFAULT_POLL_SLOTS,
+        clear_auto_checkpoints,
+        install_auto_checkpoints,
     )
+
+    every = args.checkpoint_every
+    secs = args.checkpoint_every_secs
+    if every is None and secs is None:
+        every = DEFAULT_POLL_SLOTS
+    install_auto_checkpoints(directory, every_slots=every, every_secs=secs)
+    try:
+        yield
+    finally:
+        clear_auto_checkpoints()
+
+
+def _rss_limit_bytes(args: argparse.Namespace) -> Optional[int]:
+    mb = getattr(args, "worker_rss_limit_mb", None)
+    return None if mb is None else mb * (1 << 20)
+
+
+def _checkpoint_interval_without_path(args: argparse.Namespace) -> bool:
+    """--checkpoint-every* without --checkpoint is a usage error."""
+    if args.checkpoint:
+        return False
+    if args.checkpoint_every is None and args.checkpoint_every_secs is None:
+        return False
+    print(
+        "error: --checkpoint-every/--checkpoint-every-secs need "
+        "--checkpoint PATH to write to",
+        file=sys.stderr,
+    )
+    return True
+
+
+def _cmd_fig7(args: argparse.Namespace) -> int:
+    with _auto_checkpoints(args):
+        result = run_fig7(
+            num_requests=args.requests,
+            seed=args.seed,
+            adversarial=args.adversarial,
+            checked=args.checked,
+            jobs=args.jobs,
+            with_metrics=bool(args.metrics),
+            engine=args.engine,
+        )
     print(result.render())
     if args.metrics:
         status = _export_metrics(result.metrics, args.metrics)
@@ -100,14 +151,15 @@ def _cmd_fig7(args: argparse.Namespace) -> int:
 
 
 def _cmd_fig8(args: argparse.Namespace) -> int:
-    result = run_fig8(
-        args.subfigure,
-        num_requests=args.requests,
-        seed=args.seed,
-        jobs=args.jobs,
-        with_metrics=bool(args.metrics),
-        engine=args.engine,
-    )
+    with _auto_checkpoints(args):
+        result = run_fig8(
+            args.subfigure,
+            num_requests=args.requests,
+            seed=args.seed,
+            jobs=args.jobs,
+            with_metrics=bool(args.metrics),
+            engine=args.engine,
+        )
     print(result.render())
     print(
         f"\naverage SS speedup vs P:   {result.average_speedup_vs_p():.2f}x"
@@ -181,18 +233,26 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         config = dataclasses.replace(config, checked=True)
     if args.engine:
         config = dataclasses.replace(config, engine=args.engine)
+    if _checkpoint_interval_without_path(args):
+        return 2
     suite = get_suite(args.suite)
     if args.seeds:
         conflicting = [
             flag
-            for flag, value in (("--json", args.json), ("--csv", args.csv))
+            for flag, value in (
+                ("--json", args.json),
+                ("--csv", args.csv),
+                ("--checkpoint", args.checkpoint),
+            )
             if value
         ]
         if conflicting:
             print(
                 f"error: {', '.join(conflicting)} cannot be combined with "
-                "--seeds: a sweep has no single report to export "
-                "(--metrics aggregates across seeds and is allowed)",
+                "--seeds: a sweep has no single report to export or "
+                "checkpoint (--metrics aggregates across seeds and is "
+                "allowed; use 'all --checkpoint-dir' for campaign-level "
+                "checkpointing)",
                 file=sys.stderr,
             )
             return 2
@@ -203,7 +263,19 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         address_range=args.range,
         seed=args.seed,
     )
-    report = simulate(config, traces)
+    from repro.common.errors import CheckpointError
+
+    try:
+        report = simulate(
+            config,
+            traces,
+            checkpoint_path=args.checkpoint,
+            checkpoint_every_slots=args.checkpoint_every,
+            checkpoint_every_secs=args.checkpoint_every_secs,
+        )
+    except CheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     rows = []
     for core in range(args.cores):
         core_report = report.core_reports[core]
@@ -368,21 +440,49 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     config = build_system_for_notation(args.notation, num_cores=args.cores)
     if args.record_metrics:
         config = dataclasses.replace(config, record_metrics=True)
+    if _checkpoint_interval_without_path(args):
+        return 2
     traces = get_suite(args.suite).build(
         num_cores=args.cores,
         num_requests=args.requests,
         address_range=args.range,
         seed=args.seed,
     )
+    from pathlib import Path
+
+    from repro.common.errors import CheckpointError
+
     sink = None
     if args.trace:
         try:
-            sink = JsonlTraceSink(args.trace)
-        except ObservabilityError as exc:
+            if args.checkpoint and Path(args.checkpoint).exists():
+                # Resuming: rewind the trace file to the checkpointed
+                # offset so the resumed run appends exactly where the
+                # snapshot left off (byte-identical final trace).
+                from repro.robustness.checkpoint import (
+                    checkpoint_sink_states,
+                )
+
+                states = checkpoint_sink_states(args.checkpoint)
+                if states:
+                    sink = JsonlTraceSink.reopen(args.trace, states[0])
+            if sink is None:
+                sink = JsonlTraceSink(args.trace)
+        except (ObservabilityError, CheckpointError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
     try:
-        report = simulate(config, traces, event_sink=sink)
+        report = simulate(
+            config,
+            traces,
+            event_sink=sink,
+            checkpoint_path=args.checkpoint,
+            checkpoint_every_slots=args.checkpoint_every,
+            checkpoint_every_secs=args.checkpoint_every_secs,
+        )
+    except CheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     finally:
         if sink is not None:
             sink.close()
@@ -398,17 +498,18 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 def _cmd_compare(args: argparse.Namespace) -> int:
     from repro.experiments.compare import compare_notations
 
-    result = compare_notations(
-        args.notations,
-        suite=args.suite,
-        num_cores=args.cores,
-        num_requests=args.requests,
-        address_range=args.range,
-        seed=args.seed,
-        jobs=args.jobs,
-        with_metrics=bool(args.metrics),
-        engine=args.engine,
-    )
+    with _auto_checkpoints(args):
+        result = compare_notations(
+            args.notations,
+            suite=args.suite,
+            num_cores=args.cores,
+            num_requests=args.requests,
+            address_range=args.range,
+            seed=args.seed,
+            jobs=args.jobs,
+            with_metrics=bool(args.metrics),
+            engine=args.engine,
+        )
     print(result.render())
     print(
         f"\nfastest: {result.fastest().notation}; "
@@ -436,6 +537,12 @@ def _cmd_all(args: argparse.Namespace) -> int:
         progress=print,
         with_metrics=bool(args.metrics),
         engine=args.engine,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_every_secs=args.checkpoint_every_secs,
+        hung_after=args.hung_after,
+        max_restarts=args.worker_restarts,
+        rss_limit_bytes=_rss_limit_bytes(args),
     )
     print("\n" + result.summary())
     print(f"\nartifacts written to {args.out}/")
@@ -467,6 +574,9 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         shrink_failures=args.shrink,
         progress=print if args.verbose else None,
         registry=registry,
+        hung_after=args.hung_after,
+        max_restarts=args.worker_restarts,
+        rss_limit_bytes=_rss_limit_bytes(args),
     )
     print(report.summary_lines())
     if args.out:
@@ -545,6 +655,87 @@ def build_parser() -> argparse.ArgumentParser:
             "config's engine, normally 'fast')",
         )
 
+    def add_checkpoint_file_args(sub_parser: argparse.ArgumentParser) -> None:
+        sub_parser.add_argument(
+            "--checkpoint",
+            metavar="PATH",
+            default=None,
+            help="run resumably: periodically write a crash-consistent "
+            "checkpoint of the full simulator state to PATH, and resume "
+            "from it if the file already exists; a killed run resumed "
+            "this way produces byte-identical reports, metrics and "
+            "traces (the file is removed on normal completion)",
+        )
+        sub_parser.add_argument(
+            "--checkpoint-every",
+            type=int,
+            metavar="SLOTS",
+            default=None,
+            help="checkpoint interval in TDM slots (default: 16384)",
+        )
+        sub_parser.add_argument(
+            "--checkpoint-every-secs",
+            type=float,
+            metavar="SECS",
+            default=None,
+            help="checkpoint interval in wall-clock seconds (may be "
+            "combined with --checkpoint-every)",
+        )
+
+    def add_checkpoint_dir_args(sub_parser: argparse.ArgumentParser) -> None:
+        sub_parser.add_argument(
+            "--checkpoint-dir",
+            metavar="DIR",
+            default=None,
+            help="checkpoint every simulation this command runs into DIR "
+            "(one file per configuration+workload, inherited by --jobs "
+            "workers); a killed run resumed with the same flags produces "
+            "byte-identical artifacts",
+        )
+        sub_parser.add_argument(
+            "--checkpoint-every",
+            type=int,
+            metavar="SLOTS",
+            default=None,
+            help="checkpoint interval in TDM slots (default: 16384)",
+        )
+        sub_parser.add_argument(
+            "--checkpoint-every-secs",
+            type=float,
+            metavar="SECS",
+            default=None,
+            help="checkpoint interval in wall-clock seconds",
+        )
+
+    def add_supervision_args(sub_parser: argparse.ArgumentParser) -> None:
+        sub_parser.add_argument(
+            "--hung-after",
+            type=float,
+            metavar="SECS",
+            default=None,
+            help="liveness watchdog for --jobs workers: a worker that "
+            "sends no heartbeat for SECS seconds is torn down (SIGTERM "
+            "then SIGKILL); slow-but-alive workers are unaffected and "
+            "run until --timeout",
+        )
+        sub_parser.add_argument(
+            "--worker-restarts",
+            type=int,
+            metavar="N",
+            default=0,
+            help="restart a hung or memory-killed task up to N times "
+            "before quarantining it (restarts resume from the last "
+            "checkpoint when --checkpoint-dir is set; default: 0)",
+        )
+        sub_parser.add_argument(
+            "--worker-rss-limit-mb",
+            type=int,
+            metavar="MB",
+            default=None,
+            help="per-worker resident-memory ceiling; a worker past it "
+            "is killed and its task quarantined as resource_exceeded",
+        )
+
     def add_metrics_arg(sub_parser: argparse.ArgumentParser) -> None:
         sub_parser.add_argument(
             "--metrics",
@@ -560,6 +751,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_jobs_arg(fig7)
     add_metrics_arg(fig7)
     add_engine_arg(fig7)
+    add_checkpoint_dir_args(fig7)
     fig7.add_argument(
         "--adversarial",
         action="store_true",
@@ -581,6 +773,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_jobs_arg(fig8)
     add_metrics_arg(fig8)
     add_engine_arg(fig8)
+    add_checkpoint_dir_args(fig8)
     fig8.set_defaults(func=_cmd_fig8)
 
     bounds = sub.add_parser("bounds", help="print analytical WCL bounds")
@@ -632,6 +825,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_jobs_arg(simulate_cmd)
     add_metrics_arg(simulate_cmd)
     add_engine_arg(simulate_cmd)
+    add_checkpoint_file_args(simulate_cmd)
     simulate_cmd.add_argument("--json", help="write the aggregate report here")
     simulate_cmd.add_argument("--csv", help="write per-request records here")
     simulate_cmd.add_argument(
@@ -661,6 +855,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="stream every engine event to PATH as JSON lines while "
         "the simulation runs (O(1) memory, any run length)",
     )
+    add_checkpoint_file_args(stats_cmd)
     stats_cmd.set_defaults(func=_cmd_stats)
 
     workload_cmd = sub.add_parser(
@@ -720,6 +915,8 @@ def build_parser() -> argparse.ArgumentParser:
     add_jobs_arg(all_cmd)
     add_metrics_arg(all_cmd)
     add_engine_arg(all_cmd)
+    add_checkpoint_dir_args(all_cmd)
+    add_supervision_args(all_cmd)
     all_cmd.set_defaults(func=_cmd_all)
 
     fuzz_cmd = sub.add_parser(
@@ -782,6 +979,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_jobs_arg(fuzz_cmd)
     add_metrics_arg(fuzz_cmd)
+    add_supervision_args(fuzz_cmd)
     fuzz_cmd.set_defaults(func=_cmd_fuzz)
 
     repro_cmd = sub.add_parser(
@@ -803,6 +1001,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_jobs_arg(compare_cmd)
     add_metrics_arg(compare_cmd)
     add_engine_arg(compare_cmd)
+    add_checkpoint_dir_args(compare_cmd)
     compare_cmd.set_defaults(func=_cmd_compare)
     return parser
 

@@ -94,6 +94,39 @@ class TaskTimeoutError(CampaignError):
     """A campaign task exceeded its wall-clock budget and was aborted."""
 
 
+class TaskHungError(CampaignError):
+    """A pool worker stopped heartbeating and was torn down.
+
+    Distinct from :class:`TaskTimeoutError`: a *slow* worker keeps
+    heartbeating and is allowed to run until its hard wall-clock
+    budget, while a *hung* one (wedged interpreter, deadlock, stalled
+    syscall) goes silent and is reclaimed as soon as the liveness
+    watchdog notices.
+    """
+
+
+class ResourceExceededError(CampaignError):
+    """A pool worker exceeded its resident-memory ceiling and was killed.
+
+    Raised in the parent by the per-worker RSS guard
+    (:class:`repro.sim.parallel.TaskPool`); the task is quarantined
+    with a ``resource_exceeded`` signature so a leaky configuration is
+    diagnosable from the run manifest.
+    """
+
+
+class CheckpointError(ReproError):
+    """A simulation checkpoint cannot be written, read or applied.
+
+    Covers corrupted or truncated checkpoint files (integrity-hash
+    mismatch), version skew (a checkpoint written by a newer build),
+    fingerprint mismatches (restoring against a different configuration
+    or different traces), and simulator states that cannot be
+    checkpointed at all (caller-supplied oracle callbacks, foreign
+    engine hooks, non-file event sinks).
+    """
+
+
 class TraceError(ReproError):
     """A memory trace is malformed or cannot be parsed."""
 

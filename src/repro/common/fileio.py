@@ -1,0 +1,70 @@
+"""Crash-consistent file writes.
+
+Every durable artifact this library writes — campaign manifests,
+metrics exports, simulation checkpoints — must survive a kill at any
+instant with either the *previous* complete generation or the *new*
+complete generation on disk, never a truncated hybrid.  The recipe is
+the classic one (write a sibling temp file, ``fsync`` it, atomically
+``os.replace`` it over the target, then ``fsync`` the directory so the
+rename itself is durable), and it lives here so the manifest runner,
+the exporters and the checkpoint layer share one audited
+implementation instead of three drifting copies.
+
+A crash *between* writing the temp file and the rename can orphan a
+``<name>.tmp`` sibling; it never holds state the target lacks, so
+readers call :func:`cleanup_stale_tmp` on startup.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Union
+
+
+def tmp_sibling(path: Union[str, Path]) -> Path:
+    """The temp-file sibling :func:`atomic_write_text` stages through."""
+    path = Path(path)
+    return path.with_name(path.name + ".tmp")
+
+
+def cleanup_stale_tmp(path: Union[str, Path]) -> None:
+    """Remove an orphaned ``.tmp`` sibling left by a crash mid-write."""
+    tmp_sibling(path).unlink(missing_ok=True)
+
+
+def fsync_directory(directory: Union[str, Path]) -> None:
+    """Flush a directory so a completed rename survives power loss."""
+    try:
+        dir_fd = os.open(directory, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+
+
+def atomic_write_text(
+    path: Union[str, Path], text: str, mkdir: bool = True
+) -> Path:
+    """Write ``text`` to ``path`` crash-consistently; return the path.
+
+    The parent directory is created if missing (unless ``mkdir`` is
+    False — callers that treat a missing parent as a user error pass
+    that and map the resulting :class:`OSError`).  A reader never
+    observes a partial file: until the final ``os.replace`` the target
+    holds its previous content (or does not exist), and afterwards it
+    holds exactly ``text``.
+    """
+    path = Path(path)
+    if mkdir:
+        path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = tmp_sibling(path)
+    with open(tmp, "w") as handle:
+        handle.write(text)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    fsync_directory(path.parent)
+    return path

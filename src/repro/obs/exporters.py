@@ -18,6 +18,7 @@ from pathlib import Path
 from typing import Union
 
 from repro.common.errors import ObservabilityError
+from repro.common.fileio import atomic_write_text, cleanup_stale_tmp
 from repro.obs.metrics import Histogram, MetricsRegistry, format_labels
 
 #: Path suffix → exporter, the ``write_metrics`` dispatch table.
@@ -149,6 +150,12 @@ def write_metrics(registry: MetricsRegistry, path: Union[str, Path]) -> Path:
     unsupported suffix or an unwritable path (e.g. a missing parent
     directory), so the CLI can fail with a clean message instead of a
     traceback.
+
+    The write is crash-consistent (temp sibling + fsync + atomic
+    rename): a campaign killed mid-export leaves either the previous
+    complete export or the new one, never a truncated file that a
+    scraper would misparse.  A stale ``.tmp`` sibling orphaned by an
+    earlier crash is cleaned up first.
     """
     target = Path(path)
     renderer = _RENDERERS.get(target.suffix)
@@ -157,8 +164,9 @@ def write_metrics(registry: MetricsRegistry, path: Union[str, Path]) -> Path:
             f"unsupported metrics format {target.suffix!r} for {target}; "
             f"use one of {', '.join(SUPPORTED_SUFFIXES)}"
         )
+    cleanup_stale_tmp(target)
     try:
-        target.write_text(renderer(registry))
+        atomic_write_text(target, renderer(registry), mkdir=False)
     except OSError as exc:
         raise ObservabilityError(
             f"cannot write metrics to {target}: {exc}"

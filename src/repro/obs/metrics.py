@@ -344,6 +344,46 @@ def _copy_metric(metric: Metric) -> Metric:
     )
 
 
+def registry_from_rows(rows: "List[dict]") -> MetricsRegistry:
+    """Rebuild a registry from its canonical :meth:`MetricsRegistry.rows`.
+
+    The exact inverse of ``rows()``: feeding the result back through
+    ``rows()`` reproduces the input.  This is what lets a campaign
+    manifest persist an artifact's metrics across a kill — the resumed
+    run reconstructs the registry from the stored rows instead of
+    re-running the artifact.
+    """
+    result = MetricsRegistry()
+    for row in rows:
+        key = (row["name"], canonical_labels(row["labels"]))
+        if key in result._series:
+            raise ObservabilityError(
+                f"duplicate series {row['name']!r}"
+                f"{{{format_labels(key[1])}}} in rows"
+            )
+        metric: Metric
+        if row["type"] == "counter":
+            metric = Counter(value=row["value"])
+        elif row["type"] == "gauge":
+            metric = Gauge(value=row["value"])
+        elif row["type"] == "histogram":
+            metric = Histogram(
+                bucket_width=row["bucket_width"],
+                buckets={int(bound): count for bound, count in row["buckets"].items()},
+                count=row["count"],
+                value_sum=row["sum"],
+                value_min=row["min"],
+                value_max=row["max"],
+            )
+        else:
+            raise ObservabilityError(
+                f"unknown metric type {row['type']!r} for series "
+                f"{row['name']!r}"
+            )
+        result._series[key] = metric
+    return result
+
+
 def merge_all(registries: "List[MetricsRegistry]") -> MetricsRegistry:
     """Fold a list of registries into one (empty list → empty registry).
 

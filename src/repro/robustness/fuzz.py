@@ -540,6 +540,9 @@ def run_fuzz(
     max_shrink_evaluations: int = 300,
     progress: Optional[Callable[[str], None]] = None,
     registry: Optional[Any] = None,
+    hung_after: Optional[float] = None,
+    max_restarts: int = 0,
+    rss_limit_bytes: Optional[int] = None,
 ) -> FuzzReport:
     """Run one fuzz campaign and return its deterministic report.
 
@@ -550,6 +553,11 @@ def run_fuzz(
     ``shrink_failures`` is on — shrinks every clean-case failure to a
     minimal ``repro-<case>.json`` artifact replayable with
     ``repro-llc repro``.
+
+    ``hung_after`` / ``max_restarts`` / ``rss_limit_bytes`` supervise
+    the parallel workers (``jobs > 1``): silent workers are torn down
+    and their case quarantined as hung, leaky ones as
+    ``resource_exceeded`` (see :class:`repro.sim.parallel.TaskPool`).
     """
     cases = generate_cases(budget, seed, fault_rate)
     target = Path(out_dir) if out_dir is not None else None
@@ -563,6 +571,10 @@ def run_fuzz(
         retry=RetryPolicy(max_attempts=1),
         payload_of=_fuzz_payload,
         jobs=jobs,
+        hung_after=hung_after,
+        max_restarts=max_restarts,
+        rss_limit_bytes=rss_limit_bytes,
+        registry=registry,
     )
     tasks: List[Task] = [
         (case.case_id, (lambda case=case: run_fuzz_case(case)))

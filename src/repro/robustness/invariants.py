@@ -460,6 +460,29 @@ class InvariantMonitor:
         engine.add_post_slot_hook(self.on_slot)
         return self
 
+    def seed_resume(self, engine: "SlotEngine") -> None:
+        """Re-seed per-run invariant state after a checkpoint restore.
+
+        The stateful invariants track *their own* view of progress
+        (slots seen, completed requests already bounded) and would
+        false-trip if a freshly built monitor observed a mid-run engine.
+        The correct seeds are all derivable from the restored engine
+        state, so checkpoints do not serialize monitor internals; the
+        restore path calls this instead.
+        """
+        slots_processed = sum(
+            usage["idle"] + usage["request"] + usage["writeback"]
+            for usage in engine._slot_usage.values()
+        )
+        for invariant in self.invariants:
+            if isinstance(invariant, SlotAccountingInvariant):
+                invariant._slots_seen = slots_processed
+            elif isinstance(invariant, LatencyBoundInvariant):
+                invariant._checked = len(engine._completed)
+            elif isinstance(invariant, SlotSequenceInvariant):
+                # Self-heals from None at the next processed slot.
+                invariant._expected = None
+
     def on_slot(
         self, engine: "SlotEngine", slot: SlotIndex, slot_start: Cycle
     ) -> None:

@@ -51,6 +51,7 @@ from repro.common.errors import (
     ReproError,
     TaskTimeoutError,
 )
+from repro.common.fileio import atomic_write_text, cleanup_stale_tmp
 from repro.common.validation import require
 from repro.sim.config import SystemConfig
 from repro.sim.report import SimReport
@@ -125,9 +126,7 @@ class RunManifest:
         # A crash between writing the temp file and the atomic rename
         # can orphan a *.tmp next to the manifest; it holds no state the
         # manifest itself lacks, so clear it out.
-        manifest.path.with_name(manifest.path.name + ".tmp").unlink(
-            missing_ok=True
-        )
+        cleanup_stale_tmp(manifest.path)
         if not manifest.path.exists():
             return manifest
         try:
@@ -141,6 +140,14 @@ class RunManifest:
                 f"run manifest {manifest.path} is malformed (no tasks object)"
             )
         version = data.get("version")
+        if isinstance(version, int) and version > MANIFEST_VERSION:
+            raise CampaignError(
+                f"run manifest {manifest.path} has version {version}, "
+                f"written by a newer repro build (this build reads "
+                f"version {MANIFEST_VERSION}); upgrade this installation "
+                "to resume that campaign, or delete the manifest to "
+                "start a fresh one"
+            )
         if version != MANIFEST_VERSION:
             raise CampaignError(
                 f"run manifest {manifest.path} has version {version!r}; "
@@ -171,7 +178,6 @@ class RunManifest:
         does not depend on completion order — a parallel campaign and a
         serial one produce the same manifest structure.
         """
-        self.path.parent.mkdir(parents=True, exist_ok=True)
         payload = json.dumps(
             {
                 "version": MANIFEST_VERSION,
@@ -179,22 +185,7 @@ class RunManifest:
             },
             indent=2,
         )
-        tmp = self.path.with_name(self.path.name + ".tmp")
-        with open(tmp, "w") as handle:
-            handle.write(payload + "\n")
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp, self.path)
-        try:
-            # Flush the rename itself so a power loss cannot resurrect
-            # the previous manifest generation.
-            dir_fd = os.open(self.path.parent, os.O_RDONLY)
-            try:
-                os.fsync(dir_fd)
-            finally:
-                os.close(dir_fd)
-        except OSError:  # pragma: no cover - platform-dependent
-            pass
+        atomic_write_text(self.path, payload + "\n")
 
     def results(self) -> Dict[str, Dict[str, Any]]:
         """Status and payload per task — the comparable campaign outcome.
@@ -287,19 +278,28 @@ def _default_payload(result: Any) -> Optional[Dict[str, Any]]:
     """Summarise a task result for the manifest (JSON-serialisable).
 
     ``run_all`` artifacts expose ``checks``/``passed``; anything else is
-    summarised as its repr so the manifest stays loadable.
+    summarised as its repr so the manifest stays loadable.  A result
+    carrying a metrics registry gets its canonical rows persisted too,
+    so a campaign resumed after a kill can rebuild the metrics of tasks
+    it skips (:func:`campaign_metrics`) — without them, a kill would
+    silently change the merged metrics export.
     """
     checks = getattr(result, "checks", None)
     passed = getattr(result, "passed", None)
     if isinstance(checks, dict) and isinstance(passed, bool):
-        return {"passed": passed, "checks": dict(checks)}
-    if result is None:
-        return None
-    try:
-        json.dumps(result)
-        return {"value": result}
-    except (TypeError, ValueError):
-        return {"repr": repr(result)[:200]}
+        payload: Dict[str, Any] = {"passed": passed, "checks": dict(checks)}
+    elif result is None:
+        payload = {}
+    else:
+        try:
+            json.dumps(result)
+            payload = {"value": result}
+        except (TypeError, ValueError):
+            payload = {"repr": repr(result)[:200]}
+    metrics = getattr(result, "metrics", None)
+    if metrics is not None and callable(getattr(metrics, "rows", None)):
+        payload["metrics_rows"] = metrics.rows()
+    return payload or None
 
 
 class CampaignRunner:
@@ -334,6 +334,17 @@ class CampaignRunner:
     sleep / clock:
         Injection points for tests (backoff sleeping, elapsed timing;
         serial path only — the pool schedules its own backoff).
+    hung_after / max_restarts / rss_limit_bytes / registry:
+        Worker supervision for the parallel path, forwarded to
+        :class:`repro.sim.parallel.TaskPool`: a liveness watchdog that
+        tears down workers gone silent for ``hung_after`` seconds
+        (restarting their task up to ``max_restarts`` times — resuming
+        from the last simulation checkpoint when the auto-checkpoint
+        policy is installed), a per-worker resident-memory ceiling, and
+        an optional metrics registry for the supervision counters.
+        Hung and resource-killed tasks that exhaust their restarts are
+        quarantined with ``TaskHungError`` / ``ResourceExceededError``
+        signatures in the manifest.  Ignored on the serial path.
     """
 
     def __init__(
@@ -346,6 +357,10 @@ class CampaignRunner:
         jobs: int = 1,
         sleep: Callable[[float], None] = time.sleep,
         clock: Callable[[], float] = time.monotonic,
+        hung_after: Optional[float] = None,
+        max_restarts: int = 0,
+        rss_limit_bytes: Optional[int] = None,
+        registry=None,
     ) -> None:
         if timeout is not None:
             require(
@@ -362,6 +377,10 @@ class CampaignRunner:
         self.jobs = jobs
         self.sleep = sleep
         self.clock = clock
+        self.hung_after = hung_after
+        self.max_restarts = max_restarts
+        self.rss_limit_bytes = rss_limit_bytes
+        self.registry = registry
         # Whether the most recent _call_with_timeout actually armed the
         # requested budget; manifest entries record the (rare) case it
         # could not.  One loud warning per runner, not one per task.
@@ -510,6 +529,10 @@ class CampaignRunner:
                 isinstance(exc, self.transient_types)
                 and not isinstance(exc, ReproError)
             ),
+            hung_after=self.hung_after,
+            max_restarts=self.max_restarts,
+            rss_limit_bytes=self.rss_limit_bytes,
+            registry=self.registry,
         )
         try:
             pool.run(runnable, on_result=on_result)
@@ -658,6 +681,13 @@ def run_all_robust(
     progress: Optional[Callable[[str], None]] = None,
     with_metrics: bool = False,
     engine: Optional[str] = None,
+    checkpoint_dir: Optional[Union[str, Path]] = None,
+    checkpoint_every: Optional[int] = None,
+    checkpoint_every_secs: Optional[float] = None,
+    hung_after: Optional[float] = None,
+    max_restarts: int = 0,
+    rss_limit_bytes: Optional[int] = None,
+    registry=None,
 ) -> CampaignResult:
     """Crash-tolerant ``run_all``: every artifact as a quarantinable task.
 
@@ -679,10 +709,26 @@ def run_all_robust(
     With ``with_metrics=True`` the figure artifacts carry their
     ``artifact``-labelled metrics registries on the returned outcomes
     (``outcome.result.metrics``) — merge them with
-    :func:`campaign_metrics`.  Only artifacts that *ran this
-    invocation* carry metrics: a resumed-skip outcome has no result.
+    :func:`campaign_metrics`.  Each completed artifact's metric rows
+    are also persisted in its manifest entry, so artifacts skipped on
+    resume still contribute: the merged metrics of a killed-and-resumed
+    campaign are byte-identical to an uninterrupted run's.
+
+    ``checkpoint_dir`` (with ``checkpoint_every`` slots and/or
+    ``checkpoint_every_secs``) installs the process-wide auto-checkpoint
+    policy for the duration of the campaign: every simulation inside
+    every artifact — in this process and in fork-pool workers, which
+    inherit the policy — periodically writes a crash-consistent
+    checkpoint to ``checkpoint_dir`` and resumes from it after a kill,
+    with byte-identical artifacts.  ``hung_after`` / ``max_restarts`` /
+    ``rss_limit_bytes`` / ``registry`` supervise the worker pool (see
+    :class:`CampaignRunner`).
     """
     from repro.experiments.runner import artifact_steps
+    from repro.robustness.checkpoint import (
+        clear_auto_checkpoints,
+        install_auto_checkpoints,
+    )
 
     target = Path(out_dir) if out_dir is not None else None
     if target is not None:
@@ -711,24 +757,58 @@ def run_all_robust(
         )
     ]
     runner = CampaignRunner(
-        manifest_path=manifest_path, timeout=timeout, retry=retry, jobs=jobs
+        manifest_path=manifest_path,
+        timeout=timeout,
+        retry=retry,
+        jobs=jobs,
+        hung_after=hung_after,
+        max_restarts=max_restarts,
+        rss_limit_bytes=rss_limit_bytes,
+        registry=registry,
     )
-    result = runner.run(tasks, resume=resume, progress=progress)
+    if checkpoint_dir is not None:
+        if checkpoint_every is None and checkpoint_every_secs is None:
+            from repro.robustness.checkpoint import DEFAULT_POLL_SLOTS
+
+            checkpoint_every = DEFAULT_POLL_SLOTS
+        install_auto_checkpoints(
+            checkpoint_dir,
+            every_slots=checkpoint_every,
+            every_secs=checkpoint_every_secs,
+        )
+    try:
+        result = runner.run(tasks, resume=resume, progress=progress)
+    finally:
+        if checkpoint_dir is not None:
+            clear_auto_checkpoints()
 
     if target is not None and result.manifest is not None:
-        summary = {
-            name: (
+        # Canonical order: campaign task order, then any manifest
+        # entries from other runs (sorted).  The manifest's in-memory
+        # insertion order depends on which tasks were resumed from disk,
+        # so iterating it directly would make the summary bytes depend
+        # on where a previous run was killed.
+        campaign_order = [o.name for o in result.outcomes]
+        extras = sorted(set(result.manifest.tasks) - set(campaign_order))
+        ordered = [
+            name
+            for name in campaign_order + extras
+            if name in result.manifest.tasks
+        ]
+        summary = {}
+        for name in ordered:
+            entry = result.manifest.tasks[name]
+            summary[name] = (
                 entry["payload"]["checks"]
                 if entry.get("status") == "done"
                 and isinstance(entry.get("payload"), dict)
                 and "checks" in entry["payload"]
                 else {"quarantined": entry.get("error")}
             )
-            for name, entry in result.manifest.tasks.items()
-        }
         (target / "summary.json").write_text(json.dumps(summary, indent=2) + "\n")
         lines = []
-        for name, entry in result.manifest.tasks.items():
+        for name in ordered:
+            entry = result.manifest.tasks[name]
             if entry.get("status") != "done":
                 lines.append(f"QUARANTINED  {name}")
                 continue
@@ -745,20 +825,29 @@ def campaign_metrics(result: CampaignResult) -> "Any":
 
     Outcomes are walked in campaign (canonical task) order; because the
     per-artifact registries are ``artifact``-labelled and therefore
-    disjoint, any order yields the same rows.  Returns an empty
-    registry when no outcome carries metrics (e.g. a fully resumed
-    campaign, whose skipped tasks have no in-process result).
+    disjoint, any order yields the same rows.  Tasks that ran this
+    invocation contribute their in-process registries; tasks *skipped on
+    resume* contribute the rows their original run persisted in the
+    manifest (see :func:`_default_payload`), so the merged export of an
+    interrupted-and-resumed campaign is byte-identical to an
+    uninterrupted one's.  Returns an empty registry when nothing
+    carries metrics.
     """
-    from repro.obs.metrics import merge_all
+    from repro.obs.metrics import merge_all, registry_from_rows
 
-    return merge_all(
-        [
-            outcome.result.metrics
-            for outcome in result.outcomes
-            if outcome.status == "done"
-            and getattr(outcome.result, "metrics", None) is not None
-        ]
-    )
+    registries = []
+    for outcome in result.outcomes:
+        if outcome.status == "done":
+            metrics = getattr(outcome.result, "metrics", None)
+            if metrics is not None:
+                registries.append(metrics)
+        elif outcome.status == "skipped" and result.manifest is not None:
+            entry = result.manifest.entry(outcome.name) or {}
+            payload = entry.get("payload") or {}
+            rows = payload.get("metrics_rows")
+            if rows:
+                registries.append(registry_from_rows(rows))
+    return merge_all(registries)
 
 
 @dataclass

@@ -157,8 +157,39 @@ class SlotEngine:
     # ------------------------------------------------------------------
     # Top level
     # ------------------------------------------------------------------
-    def run(self) -> SimReport:
-        """Simulate until every trace finishes (and write-backs drain)."""
+    def run(self, stop_at_slot: Optional[SlotIndex] = None) -> SimReport:
+        """Simulate until every trace finishes (and write-backs drain).
+
+        ``stop_at_slot`` pauses the loop once the slot cursor reaches
+        (or, under a fast-forward jump, passes) that slot.  The engine
+        is re-entrant: calling ``run`` again continues exactly where
+        the previous call stopped, and a paused-and-resumed run takes
+        the same decisions — and builds the same report — as an
+        uninterrupted one.  This is the checkpoint layer's stop point
+        (:mod:`repro.robustness.checkpoint`); a report returned from a
+        pause is partial and normally discarded.  Drivers that pause
+        frequently should use :meth:`advance` and only call ``run`` for
+        the final report — report construction is O(completed requests)
+        and dominates a tight pause loop.
+        """
+        timed_out = self.advance(stop_at_slot)
+        return build_report(
+            system=self.system,
+            completed=self._completed,
+            total_slots=self._slot,
+            timed_out=timed_out,
+            events=self.events,
+            slot_usage=self._slot_usage,
+            metrics=self._sampler.registry() if self._sampler else None,
+        )
+
+    def advance(self, stop_at_slot: Optional[SlotIndex] = None) -> bool:
+        """Drive the slot loop without building a report.
+
+        The report-free core of :meth:`run`, with identical pause and
+        resume semantics.  Returns whether the slot cap was hit, which
+        a follow-up ``run`` call recomputes identically.
+        """
         timed_out = False
         self._init_progress_counters()
         # The sampler is fixed at construction; hooks and event sinks
@@ -168,6 +199,8 @@ class SlotEngine:
         while not self._finished():
             if self._slot >= self.config.max_slots:
                 timed_out = True
+                break
+            if stop_at_slot is not None and self._slot >= stop_at_slot:
                 break
             if (
                 fast
@@ -201,15 +234,17 @@ class SlotEngine:
             if self._sampler is not None:
                 self._sampler.sample()
             self._slot += 1
-        return build_report(
-            system=self.system,
-            completed=self._completed,
-            total_slots=self._slot,
-            timed_out=timed_out,
-            events=self.events,
-            slot_usage=self._slot_usage,
-            metrics=self._sampler.registry() if self._sampler else None,
-        )
+        return timed_out
+
+    def run_complete(self) -> bool:
+        """Whether a (possibly paused) run has nothing left to do.
+
+        True once every core is done and write-backs drained, or once
+        the slot cap was hit — i.e. another ``run`` call would return
+        immediately.  Drivers that pause via ``run(stop_at_slot=...)``
+        use this to distinguish "paused" from "finished".
+        """
+        return self._slot >= self.config.max_slots or self._finished()
 
     def _finished(self) -> bool:
         if self._pre_slot_hooks:

@@ -1,4 +1,4 @@
-"""Parallel task execution with a deterministic merge.
+"""Parallel task execution with a deterministic merge and supervision.
 
 The paper's evaluation is a grid of *independent* simulations —
 configurations × address ranges × seeds — so the sweep and campaign
@@ -18,9 +18,27 @@ Design notes
 * **Parent-enforced timeouts.**  The serial campaign runner's SIGALRM
   timeout only works on the main thread of the executing process — a
   hung worker cannot be trusted to interrupt itself.  Here the *parent*
-  tracks one deadline per in-flight task and SIGKILLs the worker when
+  tracks one deadline per in-flight task and kills the worker when
   it expires, so a genuinely wedged simulation (busy loop, deadlock)
   is reclaimed.
+* **Liveness supervision.**  With ``hung_after`` set, workers send
+  heartbeats over the result pipe from a daemon thread and the parent
+  runs a watchdog that distinguishes *hung* (no heartbeat for
+  ``hung_after`` seconds — wedged interpreter, deadlock, stalled
+  syscall) from merely *slow* (still heartbeating; allowed to run to
+  its hard ``timeout``).  A hung worker is torn down with an escalating
+  SIGTERM → grace → SIGKILL sequence and, if ``max_restarts`` allows,
+  its task is restarted — resuming from its last simulation checkpoint
+  when the auto-checkpoint policy is installed (see
+  :mod:`repro.robustness.checkpoint`), so the restart re-does only the
+  slots since the last snapshot.
+* **Resource guards.**  With ``rss_limit_bytes`` set, each child caps
+  its own address space via ``RLIMIT_DATA`` (allocation beyond it
+  raises ``MemoryError``) and the parent additionally polls
+  ``/proc/<pid>/statm`` — no psutil dependency — killing workers whose
+  resident set exceeds the ceiling.  Either path quarantines the task
+  with a ``resource_exceeded`` status so a leaky configuration is
+  diagnosable from the run manifest.
 * **Bounded concurrency.**  At most ``jobs`` workers run at once;
   completed slots are refilled from the pending queue in submission
   order (transient retries re-enter the queue with a backoff deadline).
@@ -33,11 +51,17 @@ from __future__ import annotations
 import multiprocessing
 import multiprocessing.connection
 import os
+import threading
 import time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.common.errors import ConfigurationError, TaskTimeoutError
+from repro.common.errors import (
+    ConfigurationError,
+    ResourceExceededError,
+    TaskHungError,
+    TaskTimeoutError,
+)
 from repro.common.validation import require
 
 #: A pool task: a stable name plus a nullary callable producing the
@@ -46,6 +70,11 @@ PoolTask = Tuple[str, Callable[[], Any]]
 
 #: Decides whether a worker-side exception is transient (retryable).
 TransientPredicate = Callable[[BaseException], bool]
+
+#: Test seam: a forked child that sets this True stops heartbeating
+#: while its task keeps running, which is exactly what a wedged
+#: interpreter looks like from the parent.  Never set in production.
+_HEARTBEATS_DISABLED = False
 
 
 def parallel_available() -> bool:
@@ -63,20 +92,35 @@ def effective_jobs(jobs: Optional[int]) -> int:
     return jobs
 
 
+def _process_rss_bytes(pid: int) -> Optional[int]:
+    """Resident set size of ``pid`` from ``/proc``, or None off-Linux."""
+    try:
+        with open(f"/proc/{pid}/statm") as handle:
+            fields = handle.read().split()
+        return int(fields[1]) * os.sysconf("SC_PAGE_SIZE")
+    except (OSError, IndexError, ValueError):
+        return None
+
+
 @dataclass(frozen=True)
 class PoolResult:
     """The outcome of one pool task, in the parent process."""
 
     index: int
     name: str
-    #: ``"done"``, ``"error"`` (worker raised) or ``"timeout"`` (killed).
+    #: ``"done"``, ``"error"`` (worker raised), ``"timeout"`` (slow past
+    #: the hard budget, killed), ``"hung"`` (stopped heartbeating,
+    #: killed, restarts exhausted) or ``"resource_exceeded"`` (RSS guard
+    #: tripped, restarts exhausted).
     status: str
     value: Any = None
-    #: The worker's exception, re-hydrated in the parent (``error`` /
-    #: ``timeout`` status only).
+    #: The worker's exception, re-hydrated in the parent (any non-"done"
+    #: status).
     error: Optional[BaseException] = None
     attempts: int = 1
     elapsed_seconds: float = 0.0
+    #: Supervision restarts consumed by this task (hung / RSS kills).
+    restarts: int = 0
 
     @property
     def ok(self) -> bool:
@@ -84,27 +128,68 @@ class PoolResult:
         return self.status == "done"
 
 
-def _worker_main(thunk: Callable[[], Any], conn) -> None:
+def _heartbeat_loop(conn, lock: threading.Lock, stop: threading.Event,
+                    interval: float) -> None:
+    """Daemon thread in the child: periodic liveness beats up the pipe."""
+    while not stop.wait(interval):
+        if _HEARTBEATS_DISABLED:
+            continue
+        try:
+            with lock:
+                if stop.is_set():
+                    return
+                conn.send(("hb", None))
+        except Exception:
+            # Parent gone or pipe closed: nothing left to prove alive to.
+            return
+
+
+def _worker_main(
+    thunk: Callable[[], Any],
+    conn,
+    heartbeat_interval: Optional[float] = None,
+    rss_limit_bytes: Optional[int] = None,
+) -> None:
     """Run one task in a forked child; ship the outcome up the pipe."""
+    if rss_limit_bytes is not None:
+        try:
+            import resource
+
+            resource.setrlimit(
+                resource.RLIMIT_DATA, (rss_limit_bytes, rss_limit_bytes)
+            )
+        except (ImportError, ValueError, OSError):  # pragma: no cover
+            pass  # the parent-side /proc poll still guards this worker
+    lock = threading.Lock()
+    stop = threading.Event()
+    if heartbeat_interval is not None:
+        threading.Thread(
+            target=_heartbeat_loop,
+            args=(conn, lock, stop, heartbeat_interval),
+            daemon=True,
+        ).start()
     try:
         payload: Tuple[str, Any] = ("ok", thunk())
     except BaseException as exc:  # noqa: BLE001 - ships to the parent
         payload = ("error", exc)
+    stop.set()
     try:
-        conn.send(payload)
+        with lock:
+            conn.send(payload)
     except Exception as exc:
         # The value (or the exception) did not survive pickling; report
         # that instead of dying silently with an EOF in the parent.
         try:
-            conn.send(
-                (
-                    "error",
-                    RuntimeError(
-                        f"task result could not cross the process "
-                        f"boundary: {exc}"
-                    ),
+            with lock:
+                conn.send(
+                    (
+                        "error",
+                        RuntimeError(
+                            f"task result could not cross the process "
+                            f"boundary: {exc}"
+                        ),
+                    )
                 )
-            )
         except Exception:
             pass
     finally:
@@ -118,6 +203,7 @@ class _Pending:
     thunk: Callable[[], Any]
     attempts: int = 0
     ready_at: float = 0.0
+    restarts: int = 0
 
 
 @dataclass
@@ -127,6 +213,8 @@ class _Running:
     conn: Any
     started: float
     deadline: Optional[float]
+    last_heartbeat: float = 0.0
+    next_rss_poll: float = 0.0
 
 
 class TaskPool:
@@ -138,15 +226,42 @@ class TaskPool:
         Maximum concurrent worker processes (>= 1).
     timeout:
         Per-task wall-clock budget in seconds, enforced by the parent —
-        an expired worker is SIGKILLed and its task reports status
+        an expired worker is killed and its task reports status
         ``"timeout"`` with a :class:`TaskTimeoutError`.  ``None``
-        disables it.
+        disables it.  A worker that is slow but still heartbeating runs
+        until this hard budget; only silent workers are reclaimed early.
     retry_attempts / retry_delay / is_transient:
         Bounded retry for worker failures ``is_transient`` accepts:
         the task re-enters the queue after ``retry_delay(attempt)``
         seconds, at most ``retry_attempts`` total attempts.  Timeouts
         are never retried (a hung task will hang again).
+    hung_after:
+        Liveness watchdog: a worker that sends no heartbeat for this
+        many seconds is declared hung and torn down (SIGTERM, then
+        ``kill_grace`` seconds, then SIGKILL).  ``None`` disables
+        heartbeats entirely.
+    heartbeat_interval:
+        Seconds between worker heartbeats; defaults to a quarter of
+        ``hung_after`` so several beats must be missed before the
+        watchdog fires.
+    max_restarts:
+        Times a hung or resource-killed task is restarted before being
+        quarantined.  Restarted simulations resume from their last
+        checkpoint when the auto-checkpoint policy is installed.
+    rss_limit_bytes:
+        Per-worker resident-memory ceiling, enforced both inside the
+        child (``RLIMIT_DATA``) and by a parent-side ``/proc`` poll.
+    kill_grace:
+        Seconds between SIGTERM and SIGKILL during supervised teardown.
+    registry:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry` receiving
+        ``pool.worker_restarts``, ``pool.hung_workers``,
+        ``pool.resource_exceeded`` counters and the
+        ``pool.heartbeat_gap`` histogram.
     """
+
+    #: Seconds between parent-side /proc RSS polls.
+    RSS_POLL_INTERVAL = 0.25
 
     def __init__(
         self,
@@ -155,6 +270,12 @@ class TaskPool:
         retry_attempts: int = 1,
         retry_delay: Callable[[int], float] = lambda attempt: 0.0,
         is_transient: Optional[TransientPredicate] = None,
+        hung_after: Optional[float] = None,
+        heartbeat_interval: Optional[float] = None,
+        max_restarts: int = 0,
+        rss_limit_bytes: Optional[int] = None,
+        kill_grace: float = 2.0,
+        registry=None,
     ) -> None:
         require(jobs >= 1, f"jobs must be >= 1, got {jobs}", ConfigurationError)
         if timeout is not None:
@@ -168,6 +289,35 @@ class TaskPool:
             f"retry_attempts must be >= 1, got {retry_attempts}",
             ConfigurationError,
         )
+        if hung_after is not None:
+            require(
+                hung_after > 0,
+                f"hung_after must be positive, got {hung_after}",
+                ConfigurationError,
+            )
+        if heartbeat_interval is not None:
+            require(
+                heartbeat_interval > 0,
+                f"heartbeat_interval must be positive, got "
+                f"{heartbeat_interval}",
+                ConfigurationError,
+            )
+        require(
+            max_restarts >= 0,
+            f"max_restarts must be >= 0, got {max_restarts}",
+            ConfigurationError,
+        )
+        if rss_limit_bytes is not None:
+            require(
+                rss_limit_bytes > 0,
+                f"rss_limit_bytes must be positive, got {rss_limit_bytes}",
+                ConfigurationError,
+            )
+        require(
+            kill_grace >= 0,
+            f"kill_grace must be >= 0, got {kill_grace}",
+            ConfigurationError,
+        )
         if not parallel_available():
             raise ConfigurationError(
                 "parallel execution needs the 'fork' start method; "
@@ -178,6 +328,14 @@ class TaskPool:
         self.retry_attempts = retry_attempts
         self.retry_delay = retry_delay
         self.is_transient = is_transient or (lambda exc: False)
+        self.hung_after = hung_after
+        self.heartbeat_interval = heartbeat_interval or (
+            hung_after / 4 if hung_after is not None else None
+        )
+        self.max_restarts = max_restarts
+        self.rss_limit_bytes = rss_limit_bytes
+        self.kill_grace = kill_grace
+        self.registry = registry
         self._context = multiprocessing.get_context("fork")
 
     # ------------------------------------------------------------------
@@ -212,7 +370,7 @@ class TaskPool:
                 self._wait(pending, running)
                 now = time.monotonic()
                 self._reap_finished(pending, running, results, now, on_result)
-                self._kill_expired(running, results, now, on_result)
+                self._supervise(pending, running, results, now, on_result)
         except BaseException:
             # KeyboardInterrupt (or a callback error): reclaim workers
             # before unwinding so no orphan keeps burning CPU.
@@ -237,7 +395,12 @@ class TaskPool:
             parent_conn, child_conn = self._context.Pipe(duplex=False)
             process = self._context.Process(
                 target=_worker_main,
-                args=(task.thunk, child_conn),
+                args=(
+                    task.thunk,
+                    child_conn,
+                    self.heartbeat_interval if self.hung_after else None,
+                    self.rss_limit_bytes,
+                ),
                 daemon=True,
             )
             process.start()
@@ -249,12 +412,20 @@ class TaskPool:
                     conn=parent_conn,
                     started=now,
                     deadline=(now + self.timeout) if self.timeout else None,
+                    last_heartbeat=now,
+                    next_rss_poll=now + self.RSS_POLL_INTERVAL,
                 )
             )
 
     def _wait(self, pending: List[_Pending], running: List[_Running]) -> None:
         now = time.monotonic()
         wake_times = [run.deadline for run in running if run.deadline]
+        if self.hung_after is not None:
+            wake_times.extend(
+                run.last_heartbeat + self.hung_after for run in running
+            )
+        if self.rss_limit_bytes is not None:
+            wake_times.extend(run.next_rss_poll for run in running)
         wake_times.extend(p.ready_at for p in pending if p.ready_at > now)
         wait = max(0.0, min(wake_times) - now) if wake_times else None
         if running:
@@ -263,6 +434,41 @@ class TaskPool:
             )
         elif wait:
             time.sleep(wait)
+
+    def _poll_worker(
+        self, run: _Running, now: float
+    ) -> Optional[Tuple[str, Any]]:
+        """Drain heartbeats; return the final outcome or None if running."""
+        try:
+            while run.conn.poll():
+                message = run.conn.recv()
+                if (
+                    isinstance(message, tuple)
+                    and len(message) == 2
+                    and message[0] == "hb"
+                ):
+                    if self.registry is not None:
+                        self.registry.histogram(
+                            "pool.heartbeat_gap", 0.1
+                        ).observe(now - run.last_heartbeat)
+                    run.last_heartbeat = now
+                    continue
+                return message
+        except (EOFError, OSError):
+            pass  # pipe closed without a final message
+        else:
+            if run.process.is_alive():
+                return None
+        # Worker died without reporting (killed by the OS, or its result
+        # pipe broke): surface as a non-transient error rather than
+        # hanging the campaign.
+        return (
+            "error",
+            RuntimeError(
+                f"worker for task {run.pending.name!r} exited without a "
+                f"result (exit code {run.process.exitcode})"
+            ),
+        )
 
     def _reap_finished(
         self,
@@ -273,22 +479,10 @@ class TaskPool:
         on_result: Optional[Callable[[PoolResult], None]],
     ) -> None:
         for run in list(running):
-            if not (run.conn.poll() or not run.process.is_alive()):
+            outcome = self._poll_worker(run, now)
+            if outcome is None:
                 continue
-            try:
-                status, payload = run.conn.recv()
-            except (EOFError, OSError):
-                # Worker died without reporting (killed by the OS, or
-                # its result pipe broke): surface as a non-transient
-                # error rather than hanging the campaign.
-                status, payload = (
-                    "error",
-                    RuntimeError(
-                        f"worker for task {run.pending.name!r} exited "
-                        f"without a result (exit code "
-                        f"{run.process.exitcode})"
-                    ),
-                )
+            status, payload = outcome
             running.remove(run)
             run.process.join()
             run.conn.close()
@@ -301,6 +495,18 @@ class TaskPool:
                     value=payload,
                     attempts=task.attempts,
                     elapsed_seconds=now - run.started,
+                    restarts=task.restarts,
+                )
+            elif (
+                isinstance(payload, MemoryError)
+                and self.rss_limit_bytes is not None
+            ):
+                # The child's own RLIMIT_DATA tripped: same failure the
+                # parent-side poll guards against, same quarantine.
+                if self._maybe_restart(task, pending, now, "resource"):
+                    continue
+                result = self._supervised_result(
+                    task, run, now, "resource_exceeded"
                 )
             elif (
                 self.is_transient(payload)
@@ -317,37 +523,107 @@ class TaskPool:
                     error=payload,
                     attempts=task.attempts,
                     elapsed_seconds=now - run.started,
+                    restarts=task.restarts,
                 )
             results[task.index] = result
             if on_result is not None:
                 on_result(result)
 
-    def _kill_expired(
+    # ------------------------------------------------------------------
+    def _terminate(self, run: _Running) -> None:
+        """Escalating teardown: SIGTERM, a grace period, then SIGKILL."""
+        run.process.terminate()
+        run.process.join(self.kill_grace)
+        if run.process.is_alive():
+            run.process.kill()
+        run.process.join()
+        run.conn.close()
+
+    def _maybe_restart(
+        self, task: _Pending, pending: List[_Pending], now: float, kind: str
+    ) -> bool:
+        """Requeue a supervised-kill victim if its restart budget allows."""
+        if task.restarts >= self.max_restarts:
+            return False
+        task.restarts += 1
+        task.ready_at = now
+        pending.append(task)
+        if self.registry is not None:
+            self.registry.counter("pool.worker_restarts", kind=kind).inc()
+        return True
+
+    def _supervised_result(
+        self, task: _Pending, run: _Running, now: float, status: str
+    ) -> PoolResult:
+        if status == "hung":
+            error: BaseException = TaskHungError(
+                f"task {task.name!r} sent no heartbeat for "
+                f"{self.hung_after}s and its worker was torn down "
+                f"({task.restarts} restart(s) used)"
+            )
+            if self.registry is not None:
+                self.registry.counter("pool.hung_workers").inc()
+        elif status == "resource_exceeded":
+            error = ResourceExceededError(
+                f"task {task.name!r} exceeded the per-worker memory "
+                f"ceiling of {self.rss_limit_bytes} bytes "
+                f"({task.restarts} restart(s) used)"
+            )
+            if self.registry is not None:
+                self.registry.counter("pool.resource_exceeded").inc()
+        else:
+            error = TaskTimeoutError(
+                f"task {task.name!r} exceeded its wall-clock budget "
+                f"of {self.timeout}s and its worker was killed"
+            )
+        return PoolResult(
+            index=task.index,
+            name=task.name,
+            status=status,
+            error=error,
+            attempts=task.attempts,
+            elapsed_seconds=now - run.started,
+            restarts=task.restarts,
+        )
+
+    def _supervise(
         self,
+        pending: List[_Pending],
         running: List[_Running],
         results: Dict[int, PoolResult],
         now: float,
         on_result: Optional[Callable[[PoolResult], None]],
     ) -> None:
+        """Timeout, liveness and resource enforcement for live workers."""
         for run in list(running):
-            if run.deadline is None or now < run.deadline:
-                continue
-            run.process.kill()
-            run.process.join()
-            run.conn.close()
-            running.remove(run)
             task = run.pending
-            result = PoolResult(
-                index=task.index,
-                name=task.name,
-                status="timeout",
-                error=TaskTimeoutError(
-                    f"task {task.name!r} exceeded its wall-clock budget "
-                    f"of {self.timeout}s and its worker was killed"
-                ),
-                attempts=task.attempts,
-                elapsed_seconds=now - run.started,
-            )
+            verdict: Optional[Tuple[str, str]] = None
+            if run.deadline is not None and now >= run.deadline:
+                # Hard budget: applies even to heartbeating (slow)
+                # workers, and is never restarted.
+                verdict = ("timeout", "")
+            elif (
+                self.hung_after is not None
+                and now - run.last_heartbeat >= self.hung_after
+            ):
+                verdict = ("hung", "hung")
+            elif (
+                self.rss_limit_bytes is not None and now >= run.next_rss_poll
+            ):
+                run.next_rss_poll = now + self.RSS_POLL_INTERVAL
+                rss = _process_rss_bytes(run.process.pid)
+                if rss is not None and rss > self.rss_limit_bytes:
+                    verdict = ("resource_exceeded", "resource")
+            if verdict is None:
+                continue
+            status, restart_kind = verdict
+            self._terminate(run)
+            running.remove(run)
+            if restart_kind and self._maybe_restart(
+                task, pending, now, restart_kind
+            ):
+                continue
+            result = self._supervised_result(task, run, now, status)
             results[task.index] = result
             if on_result is not None:
                 on_result(result)

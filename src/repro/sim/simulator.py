@@ -59,6 +59,47 @@ class Simulator:
         self.system.check_inclusivity()
         return report
 
+    def checkpoint(self, path, registry=None):
+        """Write a crash-consistent checkpoint of the current state.
+
+        See :mod:`repro.robustness.checkpoint` for the format and the
+        guarantees.  Returns the written path.
+        """
+        # Imported lazily: repro.robustness imports the sim layer.
+        from repro.robustness.checkpoint import save_checkpoint
+
+        return save_checkpoint(self, path, registry=registry)
+
+    @classmethod
+    def restore(
+        cls,
+        path,
+        config: SystemConfig,
+        traces: Mapping[CoreId, MemoryTrace],
+        start_cycles: Optional[Mapping[CoreId, Cycle]] = None,
+        event_sink: Optional[Callable[[SimEvent], None]] = None,
+        engine: Optional[str] = None,
+        registry=None,
+    ) -> "Simulator":
+        """Rebuild a simulator and load a checkpoint into it.
+
+        ``config`` and ``traces`` must match the ones the checkpoint
+        was written under (verified by fingerprint); the run then
+        continues bit-identically to one that was never interrupted.
+        A run that traced events to disk must pass an ``event_sink``
+        reopened from the checkpoint's recorded sink state (see
+        :meth:`repro.obs.tracing.JsonlTraceSink.reopen`).
+        """
+        from repro.robustness.checkpoint import (
+            load_checkpoint,
+            restore_simulator,
+        )
+
+        payload = load_checkpoint(path, registry=registry)
+        sim = cls(config, traces, start_cycles, event_sink, engine)
+        restore_simulator(sim, payload)
+        return sim
+
 
 def simulate(
     config: SystemConfig,
@@ -66,6 +107,9 @@ def simulate(
     start_cycles: Optional[Mapping[CoreId, Cycle]] = None,
     event_sink: Optional[Callable[[SimEvent], None]] = None,
     engine: Optional[str] = None,
+    checkpoint_path=None,
+    checkpoint_every_slots: Optional[int] = None,
+    checkpoint_every_secs: Optional[float] = None,
 ) -> SimReport:
     """Build the system described by ``config``, replay ``traces``.
 
@@ -77,5 +121,61 @@ def simulate(
     ``record_events``.  ``engine`` overrides ``config.engine`` for this
     run only (``"fast"`` or ``"reference"``) — the CLI's ``--engine``
     flag lands here.
+
+    Passing ``checkpoint_path`` (plus an interval) runs resumably: the
+    simulation periodically writes a crash-consistent checkpoint and, if
+    the file already exists, resumes from it instead of starting over —
+    with a byte-identical final report.  When no explicit checkpoint
+    arguments are given, a process-wide auto-checkpoint policy installed
+    via :func:`repro.robustness.checkpoint.install_auto_checkpoints`
+    (e.g. by the CLI's ``--checkpoint-dir``) applies; fork-pool workers
+    inherit it, which is how campaign tasks checkpoint transparently.
     """
+    if checkpoint_path is None and checkpoint_every_slots is None:
+        from repro.robustness.checkpoint import auto_checkpoint_policy
+
+        policy = auto_checkpoint_policy()
+        if policy is not None:
+            from repro.robustness.checkpoint import (
+                default_checkpoint_path,
+                run_resumable,
+            )
+
+            run_config = config
+            if engine is not None and engine != config.engine:
+                run_config = dataclasses.replace(config, engine=engine)
+            return run_resumable(
+                config,
+                traces,
+                path=default_checkpoint_path(
+                    policy.directory, run_config, traces
+                ),
+                every_slots=policy.every_slots,
+                every_secs=policy.every_secs,
+                start_cycles=start_cycles,
+                event_sink=event_sink,
+                engine=engine,
+            )
+    if checkpoint_path is None and (
+        checkpoint_every_slots is not None or checkpoint_every_secs is not None
+    ):
+        from repro.common.errors import ConfigurationError
+
+        raise ConfigurationError(
+            "a checkpoint interval was given without checkpoint_path; "
+            "pass checkpoint_path or install an auto-checkpoint policy"
+        )
+    if checkpoint_path is not None:
+        from repro.robustness.checkpoint import run_resumable
+
+        return run_resumable(
+            config,
+            traces,
+            path=checkpoint_path,
+            every_slots=checkpoint_every_slots,
+            every_secs=checkpoint_every_secs,
+            start_cycles=start_cycles,
+            event_sink=event_sink,
+            engine=engine,
+        )
     return Simulator(config, traces, start_cycles, event_sink, engine).run()

@@ -47,7 +47,12 @@ class System:
         self.config = config
         self.schedule = config.build_schedule()
         self.partition_map = config.build_partition_map()
-        rng = random.Random(config.seed)
+        # The single shared replacement-policy RNG stream.  Every
+        # RandomPolicy instance (LLC and private stacks) aliases this
+        # object, so restoring its state once at the System level
+        # restores them all — which is what makes "random" policies
+        # checkpointable (see repro.robustness.checkpoint).
+        self.rng = rng = random.Random(config.seed)
         self.llc = PartitionedLlc(
             num_sets=config.llc_sets,
             num_ways=config.llc_ways,
