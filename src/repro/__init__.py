@@ -169,6 +169,13 @@ from repro.robustness.shrink import (
     shrink_case,
     write_artifact,
 )
+from repro.sim.cache import (
+    SimResultCache,
+    active_result_cache,
+    clear_result_cache,
+    install_result_cache,
+    result_cache_key,
+)
 from repro.sim.config import (
     PAPER_LINE_SIZE,
     PAPER_LLC_SETS,
@@ -314,6 +321,11 @@ __all__ = [
     "CoreReport",
     "RequestRecord",
     "SimReport",
+    "SimResultCache",
+    "active_result_cache",
+    "clear_result_cache",
+    "install_result_cache",
+    "result_cache_key",
     "Simulator",
     "simulate",
     "render_timeline",

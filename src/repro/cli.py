@@ -34,6 +34,10 @@ Subcommands
 ``repro``
     Replay a repro artifact deterministically and report whether the
     recorded failure still reproduces.
+``cache``
+    Inspect a content-addressed result cache directory: ``stats``,
+    ``verify`` (discard corrupt or stale entries) and ``gc``
+    (``--max-bytes`` / ``--max-age`` pruning).
 """
 
 from __future__ import annotations
@@ -102,6 +106,46 @@ def _auto_checkpoints(args: argparse.Namespace):
         clear_auto_checkpoints()
 
 
+@contextlib.contextmanager
+def _result_cache(args: argparse.Namespace):
+    """Install the process-wide result cache for one command.
+
+    Engaged by ``--cache DIR`` (and vetoed by ``--no-cache``): every
+    plain simulation the command runs — including in fork-pool workers,
+    which inherit the installed cache — is first looked up by canonical
+    fingerprint in DIR and, on a miss, stored there.  Cached and fresh
+    runs produce byte-identical output.  A one-line counter summary
+    goes to stderr when the command finishes (serial counters only:
+    worker-process hits stay in the workers; the shared directory is
+    the cross-process contract).
+    """
+    directory = getattr(args, "cache", None)
+    if not directory or getattr(args, "no_cache", False):
+        yield
+        return
+    from repro.sim.cache import clear_result_cache, install_result_cache
+
+    cache = install_result_cache(directory)
+    try:
+        yield
+    finally:
+        clear_result_cache()
+        counters = {
+            name: 0
+            for name in ("hits", "misses", "stores", "evictions", "corruption")
+        }
+        for (name, _labels), metric in cache.registry:
+            short = name.removeprefix("sim_cache.")
+            if short in counters:
+                counters[short] = metric.value
+        print(
+            "cache: "
+            + ", ".join(f"{value} {name}" for name, value in counters.items())
+            + f" ({directory})",
+            file=sys.stderr,
+        )
+
+
 def _rss_limit_bytes(args: argparse.Namespace) -> Optional[int]:
     mb = getattr(args, "worker_rss_limit_mb", None)
     return None if mb is None else mb * (1 << 20)
@@ -122,7 +166,7 @@ def _checkpoint_interval_without_path(args: argparse.Namespace) -> bool:
 
 
 def _cmd_fig7(args: argparse.Namespace) -> int:
-    with _auto_checkpoints(args):
+    with _auto_checkpoints(args), _result_cache(args):
         result = run_fig7(
             num_requests=args.requests,
             seed=args.seed,
@@ -151,7 +195,7 @@ def _cmd_fig7(args: argparse.Namespace) -> int:
 
 
 def _cmd_fig8(args: argparse.Namespace) -> int:
-    with _auto_checkpoints(args):
+    with _auto_checkpoints(args), _result_cache(args):
         result = run_fig8(
             args.subfigure,
             num_requests=args.requests,
@@ -217,6 +261,11 @@ def _cmd_unbounded(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    with _result_cache(args):
+        return _cmd_simulate_inner(args)
+
+
+def _cmd_simulate_inner(args: argparse.Namespace) -> int:
     from repro.experiments.configs import build_system_for_notation
     from repro.sim.export import (
         core_latency_stats,
@@ -498,7 +547,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 def _cmd_compare(args: argparse.Namespace) -> int:
     from repro.experiments.compare import compare_notations
 
-    with _auto_checkpoints(args):
+    with _auto_checkpoints(args), _result_cache(args):
         result = compare_notations(
             args.notations,
             suite=args.suite,
@@ -527,23 +576,24 @@ def _cmd_all(args: argparse.Namespace) -> int:
         run_all_robust,
     )
 
-    result = run_all_robust(
-        out_dir=args.out,
-        num_requests=args.requests,
-        timeout=args.timeout,
-        retry=RetryPolicy(max_attempts=args.retries),
-        resume=args.resume,
-        jobs=args.jobs,
-        progress=print,
-        with_metrics=bool(args.metrics),
-        engine=args.engine,
-        checkpoint_dir=args.checkpoint_dir,
-        checkpoint_every=args.checkpoint_every,
-        checkpoint_every_secs=args.checkpoint_every_secs,
-        hung_after=args.hung_after,
-        max_restarts=args.worker_restarts,
-        rss_limit_bytes=_rss_limit_bytes(args),
-    )
+    with _result_cache(args):
+        result = run_all_robust(
+            out_dir=args.out,
+            num_requests=args.requests,
+            timeout=args.timeout,
+            retry=RetryPolicy(max_attempts=args.retries),
+            resume=args.resume,
+            jobs=args.jobs,
+            progress=print,
+            with_metrics=bool(args.metrics),
+            engine=args.engine,
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_every_secs=args.checkpoint_every_secs,
+            hung_after=args.hung_after,
+            max_restarts=args.worker_restarts,
+            rss_limit_bytes=_rss_limit_bytes(args),
+        )
     print("\n" + result.summary())
     print(f"\nartifacts written to {args.out}/")
     if args.metrics:
@@ -614,6 +664,38 @@ def _cmd_repro(args: argparse.Namespace) -> int:
         return 0
     print("NOT REPRODUCED: the failure no longer matches", file=sys.stderr)
     return 1
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.sim.cache import SimResultCache
+
+    cache = SimResultCache(args.dir)
+    if args.action == "stats":
+        stats = cache.stats()
+        print(f"entries:     {stats.entries}")
+        print(f"total bytes: {stats.total_bytes}")
+        return 0
+    if args.action == "verify":
+        ok, removed = cache.verify()
+        print(
+            f"{len(ok)} entry(ies) ok, "
+            f"{len(removed)} defective entry(ies) removed"
+        )
+        return 1 if removed else 0
+    # gc
+    if args.max_bytes is None and args.max_age is None:
+        print(
+            "error: gc needs --max-bytes and/or --max-age",
+            file=sys.stderr,
+        )
+        return 2
+    evicted = cache.gc(max_bytes=args.max_bytes, max_age_secs=args.max_age)
+    stats = cache.stats()
+    print(
+        f"{len(evicted)} entry(ies) evicted; "
+        f"{stats.entries} entry(ies), {stats.total_bytes} bytes remain"
+    )
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -736,6 +818,24 @@ def build_parser() -> argparse.ArgumentParser:
             "is killed and its task quarantined as resource_exceeded",
         )
 
+    def add_cache_args(sub_parser: argparse.ArgumentParser) -> None:
+        sub_parser.add_argument(
+            "--cache",
+            metavar="DIR",
+            default=None,
+            help="content-addressed result cache: look every simulation "
+            "up by canonical fingerprint (config + traces + engine + "
+            "model version) in DIR and store misses there; cached runs "
+            "produce byte-identical reports, metrics and figures "
+            "(inherited by --jobs workers; see 'repro-llc cache' for "
+            "stats/verify/gc)",
+        )
+        sub_parser.add_argument(
+            "--no-cache",
+            action="store_true",
+            help="ignore --cache for this invocation (always simulate)",
+        )
+
     def add_metrics_arg(sub_parser: argparse.ArgumentParser) -> None:
         sub_parser.add_argument(
             "--metrics",
@@ -752,6 +852,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_metrics_arg(fig7)
     add_engine_arg(fig7)
     add_checkpoint_dir_args(fig7)
+    add_cache_args(fig7)
     fig7.add_argument(
         "--adversarial",
         action="store_true",
@@ -774,6 +875,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_metrics_arg(fig8)
     add_engine_arg(fig8)
     add_checkpoint_dir_args(fig8)
+    add_cache_args(fig8)
     fig8.set_defaults(func=_cmd_fig8)
 
     bounds = sub.add_parser("bounds", help="print analytical WCL bounds")
@@ -826,6 +928,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_metrics_arg(simulate_cmd)
     add_engine_arg(simulate_cmd)
     add_checkpoint_file_args(simulate_cmd)
+    add_cache_args(simulate_cmd)
     simulate_cmd.add_argument("--json", help="write the aggregate report here")
     simulate_cmd.add_argument("--csv", help="write per-request records here")
     simulate_cmd.add_argument(
@@ -916,6 +1019,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_metrics_arg(all_cmd)
     add_engine_arg(all_cmd)
     add_checkpoint_dir_args(all_cmd)
+    add_cache_args(all_cmd)
     add_supervision_args(all_cmd)
     all_cmd.set_defaults(func=_cmd_all)
 
@@ -1002,7 +1106,34 @@ def build_parser() -> argparse.ArgumentParser:
     add_metrics_arg(compare_cmd)
     add_engine_arg(compare_cmd)
     add_checkpoint_dir_args(compare_cmd)
+    add_cache_args(compare_cmd)
     compare_cmd.set_defaults(func=_cmd_compare)
+
+    cache_cmd = sub.add_parser(
+        "cache", help="inspect or prune a result cache directory"
+    )
+    cache_cmd.add_argument(
+        "action",
+        choices=("stats", "verify", "gc"),
+        help="stats: entry/byte counts; verify: check every entry and "
+        "remove defective ones (exit 1 if any removed); gc: prune by "
+        "size and/or age",
+    )
+    cache_cmd.add_argument("dir", help="cache directory (as given to --cache)")
+    cache_cmd.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        help="gc: evict oldest entries until the cache fits this size",
+    )
+    cache_cmd.add_argument(
+        "--max-age",
+        type=float,
+        default=None,
+        metavar="SECS",
+        help="gc: evict entries not touched for this many seconds",
+    )
+    cache_cmd.set_defaults(func=_cmd_cache)
     return parser
 
 

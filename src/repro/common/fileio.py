@@ -33,6 +33,23 @@ def cleanup_stale_tmp(path: Union[str, Path]) -> None:
     tmp_sibling(path).unlink(missing_ok=True)
 
 
+def sweep_stale_tmp(directory: Union[str, Path]) -> int:
+    """Remove every orphaned ``*.tmp`` in ``directory``; return the count.
+
+    The per-file :func:`cleanup_stale_tmp` needs to know the target
+    name; directory-granular stores (the result cache) instead sweep
+    all orphans at startup, before any entry of the directory is read.
+    """
+    directory = Path(directory)
+    removed = 0
+    if not directory.is_dir():
+        return removed
+    for orphan in sorted(directory.glob("*.tmp")):
+        orphan.unlink(missing_ok=True)
+        removed += 1
+    return removed
+
+
 def fsync_directory(directory: Union[str, Path]) -> None:
     """Flush a directory so a completed rename survives power loss."""
     try:

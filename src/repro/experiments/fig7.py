@@ -5,6 +5,11 @@ conflicts as possible; the observed WCL of every configuration must sit
 under its analytical bound (5000 cycles for SS, 979 250 for NSS, 450
 for P at the paper's parameters), with NSS observing a higher WCL than
 SS because distance can increase (Observation 3).
+
+The non-steered rows run through :func:`repro.sim.simulator.simulate`
+and therefore honour an installed result cache (the CLI's ``--cache``);
+the adversarially *steered* rows drive the :class:`Simulator` directly
+and are always recomputed.
 """
 
 from __future__ import annotations

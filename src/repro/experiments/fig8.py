@@ -24,6 +24,10 @@ a core does not use while starving one that needs more.  We therefore
 grade the demands: core ``i`` draws from a range of ``max(range >> i,
 1024)`` bytes.  Core 0 reproduces the x-axis; the lighter co-runners
 leave shareable headroom, exactly the deployments Section 1 argues for.
+
+Each grid point runs through :func:`repro.sim.simulator.simulate`, so
+an installed result cache (the CLI's ``--cache``) replays previously
+computed points byte-identically instead of simulating them again.
 """
 
 from __future__ import annotations

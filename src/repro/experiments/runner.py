@@ -5,6 +5,12 @@ Section 4.1 witness, the analytical constants and the tightness probe —
 and writes each artifact as a text table (plus a machine-readable
 summary) under an output directory.  The CLI exposes it as
 ``repro-llc all --out results/``.
+
+With a result cache installed (``repro-llc all --cache DIR``), the
+simulation-backed artifacts (Figure 7's non-steered rows, Figures
+8a–8d) replay cached reports byte-identically on repeat runs; the
+analytical and adversarially-steered artifacts are cheap and always
+recomputed.
 """
 
 from __future__ import annotations

@@ -669,6 +669,50 @@ class CampaignRunner:
 # ----------------------------------------------------------------------
 # Ready-made campaigns
 # ----------------------------------------------------------------------
+def write_campaign_summaries(
+    target: Path, result: CampaignResult
+) -> None:
+    """Write ``summary.json`` and ``SUMMARY.txt`` from one campaign.
+
+    Entries are rolled up in canonical order — campaign task order
+    first, then any manifest entries from other runs (sorted) — and
+    **deduplicated by task id**: a task that appears twice in the
+    outcome list (e.g. quarantined in one attempt and retried after a
+    resume) is still summarised exactly once, from its final manifest
+    entry.  Without the dedup a resumed campaign's ``SUMMARY.txt``
+    would re-count the retried task, so the rollup is pinned by
+    ``tests/test_campaign_summary_resume.py``.
+    """
+    assert result.manifest is not None
+    campaign_order = [o.name for o in result.outcomes]
+    extras = sorted(set(result.manifest.tasks) - set(campaign_order))
+    ordered = [
+        name
+        for name in dict.fromkeys(campaign_order + extras)
+        if name in result.manifest.tasks
+    ]
+    summary = {}
+    for name in ordered:
+        entry = result.manifest.tasks[name]
+        summary[name] = (
+            entry["payload"]["checks"]
+            if entry.get("status") == "done"
+            and isinstance(entry.get("payload"), dict)
+            and "checks" in entry["payload"]
+            else {"quarantined": entry.get("error")}
+        )
+    (target / "summary.json").write_text(json.dumps(summary, indent=2) + "\n")
+    lines = []
+    for name in ordered:
+        entry = result.manifest.tasks[name]
+        if entry.get("status") != "done":
+            lines.append(f"QUARANTINED  {name}")
+            continue
+        payload = entry.get("payload") or {}
+        lines.append(f"{'PASS' if payload.get('passed') else 'FAIL'}  {name}")
+    (target / "SUMMARY.txt").write_text("\n".join(lines) + "\n")
+
+
 def run_all_robust(
     out_dir: Optional[Union[str, Path]] = None,
     num_requests: int = 300,
@@ -681,6 +725,7 @@ def run_all_robust(
     progress: Optional[Callable[[str], None]] = None,
     with_metrics: bool = False,
     engine: Optional[str] = None,
+    cache_dir: Optional[Union[str, Path]] = None,
     checkpoint_dir: Optional[Union[str, Path]] = None,
     checkpoint_every: Optional[int] = None,
     checkpoint_every_secs: Optional[float] = None,
@@ -713,6 +758,16 @@ def run_all_robust(
     are also persisted in its manifest entry, so artifacts skipped on
     resume still contribute: the merged metrics of a killed-and-resumed
     campaign are byte-identical to an uninterrupted run's.
+
+    ``cache_dir`` installs the process-wide simulation result cache
+    (:func:`repro.sim.cache.install_result_cache`) for the duration of
+    the campaign: every plain ``simulate()`` call inside every artifact
+    — in this process and in fork-pool workers, which inherit the
+    installed cache — is first looked up by canonical fingerprint and,
+    on a miss, stored.  Identical simulations within the campaign
+    deduplicate through the cache's in-process memo (and, across
+    workers, through the shared directory); cached campaigns produce
+    byte-identical artifacts, summaries and metrics exports.
 
     ``checkpoint_dir`` (with ``checkpoint_every`` slots and/or
     ``checkpoint_every_secs``) installs the process-wide auto-checkpoint
@@ -766,6 +821,10 @@ def run_all_robust(
         rss_limit_bytes=rss_limit_bytes,
         registry=registry,
     )
+    if cache_dir is not None:
+        from repro.sim.cache import install_result_cache
+
+        install_result_cache(cache_dir, registry=registry)
     if checkpoint_dir is not None:
         if checkpoint_every is None and checkpoint_every_secs is None:
             from repro.robustness.checkpoint import DEFAULT_POLL_SLOTS
@@ -781,42 +840,17 @@ def run_all_robust(
     finally:
         if checkpoint_dir is not None:
             clear_auto_checkpoints()
+        if cache_dir is not None:
+            from repro.sim.cache import clear_result_cache
+
+            clear_result_cache()
 
     if target is not None and result.manifest is not None:
-        # Canonical order: campaign task order, then any manifest
-        # entries from other runs (sorted).  The manifest's in-memory
+        # Canonical order with per-task dedup: the manifest's in-memory
         # insertion order depends on which tasks were resumed from disk,
         # so iterating it directly would make the summary bytes depend
         # on where a previous run was killed.
-        campaign_order = [o.name for o in result.outcomes]
-        extras = sorted(set(result.manifest.tasks) - set(campaign_order))
-        ordered = [
-            name
-            for name in campaign_order + extras
-            if name in result.manifest.tasks
-        ]
-        summary = {}
-        for name in ordered:
-            entry = result.manifest.tasks[name]
-            summary[name] = (
-                entry["payload"]["checks"]
-                if entry.get("status") == "done"
-                and isinstance(entry.get("payload"), dict)
-                and "checks" in entry["payload"]
-                else {"quarantined": entry.get("error")}
-            )
-        (target / "summary.json").write_text(json.dumps(summary, indent=2) + "\n")
-        lines = []
-        for name in ordered:
-            entry = result.manifest.tasks[name]
-            if entry.get("status") != "done":
-                lines.append(f"QUARANTINED  {name}")
-                continue
-            payload = entry.get("payload") or {}
-            lines.append(
-                f"{'PASS' if payload.get('passed') else 'FAIL'}  {name}"
-            )
-        (target / "SUMMARY.txt").write_text("\n".join(lines) + "\n")
+        write_campaign_summaries(target, result)
     return result
 
 

@@ -7,6 +7,13 @@ advances in TDM bus slots; private-cache execution is folded between
 slot boundaries.
 """
 
+from repro.sim.cache import (
+    SimResultCache,
+    active_result_cache,
+    clear_result_cache,
+    install_result_cache,
+    result_cache_key,
+)
 from repro.sim.config import SystemConfig
 from repro.sim.events import EventKind, SimEvent, EventLog
 from repro.sim.parallel import (
@@ -21,6 +28,11 @@ from repro.sim.simulator import Simulator, simulate
 from repro.sim.sweeps import SweepResult, compare_configs, sweep_seeds
 
 __all__ = [
+    "SimResultCache",
+    "active_result_cache",
+    "clear_result_cache",
+    "install_result_cache",
+    "result_cache_key",
     "SystemConfig",
     "EventKind",
     "SimEvent",

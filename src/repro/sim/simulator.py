@@ -130,7 +130,63 @@ def simulate(
     via :func:`repro.robustness.checkpoint.install_auto_checkpoints`
     (e.g. by the CLI's ``--checkpoint-dir``) applies; fork-pool workers
     inherit it, which is how campaign tasks checkpoint transparently.
+
+    When a process-wide result cache is installed
+    (:func:`repro.sim.cache.install_result_cache`, the CLI's
+    ``--cache DIR``), the call first looks up its canonical fingerprint
+    — full config, traces, engine, model version — and a hit returns
+    the stored report without simulating, byte-identical to a fresh
+    run (reports, metrics exports, figures; see
+    ``docs/PERFORMANCE.md``).  A miss simulates as usual and stores the
+    finished report.  Runs with a streaming ``event_sink`` bypass the
+    cache: the sink's side effects happen during the run and cannot be
+    replayed from a stored result.
     """
+    from repro.sim.cache import active_result_cache
+
+    cache = active_result_cache()
+    if cache is not None and event_sink is None:
+        cached_config = config
+        if engine is not None and engine != config.engine:
+            cached_config = dataclasses.replace(config, engine=engine)
+        cached = cache.lookup(cached_config, traces, start_cycles)
+        if cached is not None:
+            return cached
+        report = _simulate_uncached(
+            config,
+            traces,
+            start_cycles,
+            event_sink,
+            engine,
+            checkpoint_path,
+            checkpoint_every_slots,
+            checkpoint_every_secs,
+        )
+        cache.store(cached_config, traces, start_cycles, report)
+        return report
+    return _simulate_uncached(
+        config,
+        traces,
+        start_cycles,
+        event_sink,
+        engine,
+        checkpoint_path,
+        checkpoint_every_slots,
+        checkpoint_every_secs,
+    )
+
+
+def _simulate_uncached(
+    config: SystemConfig,
+    traces: Mapping[CoreId, MemoryTrace],
+    start_cycles: Optional[Mapping[CoreId, Cycle]] = None,
+    event_sink: Optional[Callable[[SimEvent], None]] = None,
+    engine: Optional[str] = None,
+    checkpoint_path=None,
+    checkpoint_every_slots: Optional[int] = None,
+    checkpoint_every_secs: Optional[float] = None,
+) -> SimReport:
+    """The build-run-report path of :func:`simulate`, cache-free."""
     if checkpoint_path is None and checkpoint_every_slots is None:
         from repro.robustness.checkpoint import auto_checkpoint_policy
 

@@ -5,20 +5,31 @@ the trace encoding, the metric catalogue or the JSONL exporter — and
 review the diff before committing::
 
     PYTHONPATH=src:tests python tests/golden/regen.py
+
+``--out DIR`` writes the fixtures somewhere else instead of the
+committed directory; the golden-drift guard uses it to regenerate into
+a scratch directory and byte-compare against the committed files.
 """
 
+import argparse
 import sys
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
 
-from golden_scenarios import SCENARIOS, fixture_paths, run_scenario  # noqa: E402
+from golden_scenarios import (  # noqa: E402
+    GOLDEN_DIR,
+    SCENARIOS,
+    fixture_paths,
+    run_scenario,
+)
 
 
-def main() -> None:
+def regenerate(root: Path) -> None:
+    """Write every scenario's fixtures under ``root``."""
     for name in sorted(SCENARIOS):
         trace_bytes, metrics_bytes = run_scenario(name)
-        trace_path, metrics_path = fixture_paths(name)
+        trace_path, metrics_path = fixture_paths(name, root=root)
         trace_path.parent.mkdir(parents=True, exist_ok=True)
         trace_path.write_bytes(trace_bytes)
         metrics_path.write_bytes(metrics_bytes)
@@ -26,6 +37,18 @@ def main() -> None:
             f"{name}: {len(trace_bytes.splitlines())} events, "
             f"{len(metrics_bytes.splitlines())} metric series"
         )
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        metavar="DIR",
+        default=None,
+        help="write fixtures here instead of the committed directory",
+    )
+    args = parser.parse_args(argv)
+    regenerate(GOLDEN_DIR if args.out is None else Path(args.out))
 
 
 if __name__ == "__main__":

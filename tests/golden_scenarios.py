@@ -64,9 +64,15 @@ def run_scenario(name: str) -> Tuple[bytes, bytes]:
     return trace_bytes, metrics_to_jsonl(metrics).encode()
 
 
-def fixture_paths(name: str) -> Tuple[Path, Path]:
-    """The committed fixture files of one scenario."""
+def fixture_paths(name: str, root: Path = GOLDEN_DIR) -> Tuple[Path, Path]:
+    """One scenario's fixture files under ``root``.
+
+    The default root is the committed fixture directory; the
+    golden-drift guard (``tests/test_golden_drift.py`` and the CI
+    ``golden-drift`` step) regenerates into a scratch root and
+    byte-compares the two.
+    """
     return (
-        GOLDEN_DIR / f"{name}.trace.jsonl",
-        GOLDEN_DIR / f"{name}.metrics.jsonl",
+        root / f"{name}.trace.jsonl",
+        root / f"{name}.metrics.jsonl",
     )

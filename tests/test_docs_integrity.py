@@ -75,3 +75,67 @@ class TestReadmeSnippets:
         )
         namespace: dict = {}
         exec(compile(code, "repro.__doc__", "exec"), namespace)
+
+
+DOC_FILES = [
+    REPO_ROOT / "README.md",
+    REPO_ROOT / "docs" / "API.md",
+    REPO_ROOT / "docs" / "MODEL.md",
+    REPO_ROOT / "docs" / "OBSERVABILITY.md",
+    REPO_ROOT / "docs" / "PERFORMANCE.md",
+    REPO_ROOT / "docs" / "ROBUSTNESS.md",
+]
+
+
+class TestCrossLinks:
+    @pytest.mark.parametrize("doc", DOC_FILES, ids=lambda p: p.name)
+    def test_relative_links_resolve(self, doc):
+        """Every relative markdown link in the doc set points at a file."""
+        for match in re.finditer(r"\]\(([^)]+)\)", doc.read_text()):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "#", "mailto:")):
+                continue
+            path = (doc.parent / target.split("#")[0]).resolve()
+            assert path.exists(), f"{doc.name}: broken link -> {target}"
+
+
+class TestPerformanceDoc:
+    """docs/PERFORMANCE.md carries the result-cache contract."""
+
+    @property
+    def text(self):
+        return (REPO_ROOT / "docs" / "PERFORMANCE.md").read_text()
+
+    def test_covers_key_derivation_invalidation_and_gc(self):
+        for needle in (
+            "MODEL_SCHEMA_VERSION",  # the invalidation stamp
+            "length-framed",  # trace fingerprint derivation
+            "repro-llc cache",  # stats / verify / gc entry points
+            "--max-bytes",
+            "--max-age",
+            "sim_cache.hits",  # observability counters
+            "byte-identical",  # the hard guarantee
+            "tmp → fsync → rename",  # crash-safe write discipline
+        ):
+            assert needle in self.text, f"PERFORMANCE.md must cover {needle!r}"
+
+    def test_matches_the_code_constants(self):
+        from repro.sim import cache
+
+        assert f'"{cache.RESULT_CACHE_KIND}"' in self.text
+        assert str(cache.MODEL_SCHEMA_VERSION) is not None  # importable
+
+    def test_readme_and_api_cross_link(self):
+        readme = (REPO_ROOT / "README.md").read_text()
+        api = (REPO_ROOT / "docs" / "API.md").read_text()
+        assert "docs/PERFORMANCE.md" in readme
+        assert "PERFORMANCE.md" in api
+        assert "repro.sim.cache" in api
+
+    def test_named_benchmark_gate_files_exist(self):
+        for path in re.findall(r"`(benchmarks/[\w./-]+)`", self.text):
+            assert (REPO_ROOT / path).exists(), f"missing gate file {path}"
+
+    def test_named_test_files_exist(self):
+        for path in re.findall(r"`(tests/[\w./-]+)`", self.text):
+            assert (REPO_ROOT / path).exists(), f"missing test file {path}"

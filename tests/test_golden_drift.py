@@ -1,0 +1,55 @@
+"""Golden-drift guard: the regeneration script must be a no-op.
+
+``tests/golden/regen.py`` is the only sanctioned way to update the
+golden fixtures, so the script itself is part of the contract: running
+it against the current code must reproduce the committed bytes exactly.
+If this test fails, either the simulator's output drifted (a bug or an
+unflagged behaviour change) or someone edited a fixture by hand.  The
+CI ``golden-drift`` step runs the same check via the command line.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+from golden_scenarios import GOLDEN_DIR, SCENARIOS, fixture_paths
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+REGEN = REPO_ROOT / "tests" / "golden" / "regen.py"
+
+
+def _assert_matches_committed(root: Path) -> None:
+    for name in sorted(SCENARIOS):
+        for fresh, committed in zip(
+            fixture_paths(name, root=root), fixture_paths(name)
+        ):
+            assert fresh.exists(), f"regen did not write {fresh.name}"
+            assert fresh.read_bytes() == committed.read_bytes(), (
+                f"{committed.name} drifted: regen.py no longer "
+                "reproduces the committed fixture"
+            )
+
+
+def test_regen_reproduces_committed_fixtures(tmp_path):
+    from golden.regen import regenerate
+
+    regenerate(tmp_path)
+    _assert_matches_committed(tmp_path)
+
+
+def test_regen_cli_out_flag(tmp_path):
+    env_path = f"{REPO_ROOT / 'src'}:{REPO_ROOT / 'tests'}"
+    proc = subprocess.run(
+        [sys.executable, str(REGEN), "--out", str(tmp_path)],
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": env_path, "PATH": "/usr/bin:/bin"},
+    )
+    assert proc.returncode == 0, proc.stderr
+    _assert_matches_committed(tmp_path)
+    # The committed fixtures were not touched by --out.
+    assert GOLDEN_DIR.exists()
+
+
+def test_default_regen_targets_committed_directory():
+    assert fixture_paths("fig7-ss")[0].parent == GOLDEN_DIR
