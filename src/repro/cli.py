@@ -146,6 +146,29 @@ def _result_cache(args: argparse.Namespace):
         )
 
 
+def _io_fault_spec(text: str):
+    """argparse type for ``--io-fault`` (usage errors exit 2 cleanly)."""
+    from repro.common.errors import ConfigurationError
+    from repro.robustness.iofault import IoFaultSpec
+
+    try:
+        return IoFaultSpec.parse(text)
+    except ConfigurationError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
+def _install_io_faults(args: argparse.Namespace):
+    """Install the ``--io-fault`` plan for one invocation, if requested."""
+    specs = getattr(args, "io_fault", None)
+    if not specs:
+        return None
+    from repro.robustness.iofault import IoFaultPlan, install_io_faults
+
+    return install_io_faults(
+        IoFaultPlan(specs, seed=getattr(args, "io_fault_seed", 0))
+    )
+
+
 def _rss_limit_bytes(args: argparse.Namespace) -> Optional[int]:
     mb = getattr(args, "worker_rss_limit_mb", None)
     return None if mb is None else mb * (1 << 20)
@@ -597,7 +620,15 @@ def _cmd_all(args: argparse.Namespace) -> int:
     print("\n" + result.summary())
     print(f"\nartifacts written to {args.out}/")
     if args.metrics:
-        status = _export_metrics(campaign_metrics(result), args.metrics)
+        from repro.common.fileio import io_metrics
+
+        registry = campaign_metrics(result)
+        if io_metrics().rows():
+            # Degradation counters (io.fault.*, io.degraded.*) ride
+            # along in the requested export; a clean run has no io.*
+            # rows, so the bytes of undegraded runs are unchanged.
+            registry = registry.merged(io_metrics())
+        status = _export_metrics(registry, args.metrics)
         if status != 0:
             return status
     if result.quarantined:
@@ -845,6 +876,28 @@ def build_parser() -> argparse.ArgumentParser:
             "output is byte-identical for any --jobs value",
         )
 
+    def add_io_fault_args(sub_parser: argparse.ArgumentParser) -> None:
+        sub_parser.add_argument(
+            "--io-fault",
+            metavar="SPEC",
+            action="append",
+            type=_io_fault_spec,
+            default=None,
+            help="inject a deterministic filesystem fault at the Nth "
+            "matching I/O operation, e.g. 'enospc@3', "
+            "'eio@1x*,site=result-cache', 'corrupt-read@1,path=res-*' "
+            "(repeatable; grammar in docs/ROBUSTNESS.md); ESSENTIAL "
+            "artifacts retry then fail loudly, BEST-EFFORT stores "
+            "degrade through a circuit breaker and the run continues",
+        )
+        sub_parser.add_argument(
+            "--io-fault-seed",
+            type=int,
+            default=0,
+            metavar="N",
+            help="seed for randomized fault payloads (read corruption)",
+        )
+
     fig7 = sub.add_parser("fig7", help="reproduce Figure 7 (WCL)")
     fig7.add_argument("--requests", type=int, default=400)
     fig7.add_argument("--seed", type=int, default=2022)
@@ -853,6 +906,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_engine_arg(fig7)
     add_checkpoint_dir_args(fig7)
     add_cache_args(fig7)
+    add_io_fault_args(fig7)
     fig7.add_argument(
         "--adversarial",
         action="store_true",
@@ -876,6 +930,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_engine_arg(fig8)
     add_checkpoint_dir_args(fig8)
     add_cache_args(fig8)
+    add_io_fault_args(fig8)
     fig8.set_defaults(func=_cmd_fig8)
 
     bounds = sub.add_parser("bounds", help="print analytical WCL bounds")
@@ -929,6 +984,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_engine_arg(simulate_cmd)
     add_checkpoint_file_args(simulate_cmd)
     add_cache_args(simulate_cmd)
+    add_io_fault_args(simulate_cmd)
     simulate_cmd.add_argument("--json", help="write the aggregate report here")
     simulate_cmd.add_argument("--csv", help="write per-request records here")
     simulate_cmd.add_argument(
@@ -959,6 +1015,7 @@ def build_parser() -> argparse.ArgumentParser:
         "the simulation runs (O(1) memory, any run length)",
     )
     add_checkpoint_file_args(stats_cmd)
+    add_io_fault_args(stats_cmd)
     stats_cmd.set_defaults(func=_cmd_stats)
 
     workload_cmd = sub.add_parser(
@@ -1020,6 +1077,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_engine_arg(all_cmd)
     add_checkpoint_dir_args(all_cmd)
     add_cache_args(all_cmd)
+    add_io_fault_args(all_cmd)
     add_supervision_args(all_cmd)
     all_cmd.set_defaults(func=_cmd_all)
 
@@ -1107,6 +1165,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_engine_arg(compare_cmd)
     add_checkpoint_dir_args(compare_cmd)
     add_cache_args(compare_cmd)
+    add_io_fault_args(compare_cmd)
     compare_cmd.set_defaults(func=_cmd_compare)
 
     cache_cmd = sub.add_parser(
@@ -1138,10 +1197,43 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point."""
+    """CLI entry point.
+
+    Each invocation starts with fresh I/O seam state (closed circuit
+    breakers, zeroed ``io.*`` counters), installs any ``--io-fault``
+    plan around the whole command — so requested exports and summaries
+    are inside the fault window too — and maps a
+    :class:`~repro.common.errors.PersistenceError` (an ESSENTIAL
+    artifact that could not be written after bounded retries) to a
+    clean one-line error and exit code 1.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    from repro.common.errors import ObservabilityError, PersistenceError
+    from repro.common.fileio import reset_io_state
+
+    reset_io_state()
+    plan = _install_io_faults(args)
+    try:
+        return args.func(args)
+    except PersistenceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except ObservabilityError as exc:
+        # e.g. a trace sink that failed mid-run: requested output,
+        # loud failure with the offending path, usage-error exit code.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        if plan is not None:
+            from repro.robustness.iofault import clear_io_faults
+
+            clear_io_faults()
+            print(
+                f"io-fault: {plan.fired_count} fault(s) injected over "
+                f"{plan.operations} seam operation(s)",
+                file=sys.stderr,
+            )
 
 
 if __name__ == "__main__":

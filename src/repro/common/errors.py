@@ -115,6 +115,24 @@ class ResourceExceededError(CampaignError):
     """
 
 
+class PersistenceError(ReproError):
+    """An ESSENTIAL artifact could not be persisted after bounded retries.
+
+    Raised by :func:`repro.common.fileio.persist_text` when a write that
+    the user explicitly requested (campaign manifest, figure/report
+    output, ``--metrics`` export, explicit ``--checkpoint`` file) keeps
+    failing after the retry budget is exhausted.  Deliberately *not* an
+    :class:`OSError` subclass: the persistence layer already performed
+    its own bounded retries, so campaign-level transient-retry machinery
+    must not retry it again — it propagates to the CLI, which reports
+    the offending path and exits nonzero.
+
+    BEST-EFFORT artifacts (result-cache entries, auto-checkpoints) never
+    raise this; they degrade through a per-store circuit breaker and the
+    run continues with correct results.
+    """
+
+
 class CheckpointError(ReproError):
     """A simulation checkpoint cannot be written, read or applied.
 

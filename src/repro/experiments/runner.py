@@ -24,6 +24,7 @@ if TYPE_CHECKING:
     from repro.obs.metrics import MetricsRegistry
 
 from repro.analysis.unbounded import starvation_witness
+from repro.common.fileio import Durability, persist_text
 from repro.analysis.wcl import (
     SharedPartitionParams,
     wcl_nss_cycles,
@@ -327,10 +328,25 @@ def run_all(
         target = Path(out_dir)
         target.mkdir(parents=True, exist_ok=True)
         for artifact in result.artifacts:
-            (target / f"{artifact.name}.txt").write_text(artifact.table + "\n")
+            persist_text(
+                target / f"{artifact.name}.txt",
+                artifact.table + "\n",
+                site="artifact-table",
+                durability=Durability.ESSENTIAL,
+            )
         summary = {
             artifact.name: artifact.checks for artifact in result.artifacts
         }
-        (target / "summary.json").write_text(json.dumps(summary, indent=2) + "\n")
-        (target / "SUMMARY.txt").write_text(result.summary() + "\n")
+        persist_text(
+            target / "summary.json",
+            json.dumps(summary, indent=2) + "\n",
+            site="campaign-summary",
+            durability=Durability.ESSENTIAL,
+        )
+        persist_text(
+            target / "SUMMARY.txt",
+            result.summary() + "\n",
+            site="campaign-summary",
+            durability=Durability.ESSENTIAL,
+        )
     return result

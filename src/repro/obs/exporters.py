@@ -17,8 +17,8 @@ import re
 from pathlib import Path
 from typing import Union
 
-from repro.common.errors import ObservabilityError
-from repro.common.fileio import atomic_write_text, cleanup_stale_tmp
+from repro.common.errors import ObservabilityError, PersistenceError
+from repro.common.fileio import Durability, cleanup_stale_tmp, persist_text
 from repro.obs.metrics import Histogram, MetricsRegistry, format_labels
 
 #: Path suffix → exporter, the ``write_metrics`` dispatch table.
@@ -166,8 +166,16 @@ def write_metrics(registry: MetricsRegistry, path: Union[str, Path]) -> Path:
         )
     cleanup_stale_tmp(target)
     try:
-        atomic_write_text(target, renderer(registry), mkdir=False)
-    except OSError as exc:
+        # A --metrics export was explicitly requested: ESSENTIAL, so a
+        # transient failure is retried and a persistent one is loud.
+        persist_text(
+            target,
+            renderer(registry),
+            site="metrics-export",
+            durability=Durability.ESSENTIAL,
+            mkdir=False,
+        )
+    except (OSError, PersistenceError) as exc:
         raise ObservabilityError(
             f"cannot write metrics to {target}: {exc}"
         ) from exc

@@ -26,6 +26,7 @@ from pathlib import Path
 from typing import IO, Iterable, Optional, Sequence, Set, Union
 
 from repro.common.errors import ObservabilityError
+from repro.common.fileio import check_io, guarded_write
 from repro.common.types import CoreId
 from repro.sim.events import EventKind, SimEvent
 
@@ -94,9 +95,12 @@ class JsonlTraceSink:
         cores: Optional[Sequence[CoreId]] = None,
     ) -> None:
         self._owns_handle = isinstance(target, (str, Path))
+        self._path: Optional[Path] = None
         if self._owns_handle:
             path = Path(target)
+            self._path = path
             try:
+                check_io("open", path, "trace-sink")
                 self._handle: IO[str] = open(path, "w")
             except OSError as exc:
                 raise ObservabilityError(
@@ -118,7 +122,18 @@ class JsonlTraceSink:
             return
         if self._cores is not None and event.core not in self._cores:
             return
-        self._handle.write(event_json_line(event) + "\n")
+        where = self._path if self._path is not None else Path("<stream>")
+        try:
+            guarded_write(
+                self._handle, event_json_line(event) + "\n", where, "trace-sink"
+            )
+        except OSError as exc:
+            # Traces are requested output — ESSENTIAL: fail loudly with
+            # the offending path rather than silently dropping events.
+            raise ObservabilityError(
+                f"cannot write trace event to {where}: {exc}; free disk "
+                "space or choose another trace path and re-run"
+            ) from exc
         self.emitted += 1
 
     def checkpoint_state(self) -> dict:
@@ -172,6 +187,7 @@ class JsonlTraceSink:
             ) from exc
         sink = cls.__new__(cls)
         sink._owns_handle = True
+        sink._path = path
         sink._handle = handle
         sink._kinds = set(kinds) if kinds else None
         sink._cores = set(cores) if cores else None

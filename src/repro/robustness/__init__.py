@@ -9,6 +9,12 @@ Three pieces, one goal — trust the numbers the simulator reports:
 * :mod:`repro.robustness.faults` — deterministic fault injection that
   *proves* the monitor fires: every fault class maps to an invariant
   that catches it.
+* :mod:`repro.robustness.iofault` — deterministic *filesystem* fault
+  injection (ENOSPC, EIO, short writes, fsync/rename failure, read
+  corruption, …) through the instrumented I/O seam of
+  :mod:`repro.common.fileio`, proving every persistence layer's
+  durability-class response (retry / loud failure / circuit-breaker
+  degradation).
 * :mod:`repro.robustness.runner` — a crash-tolerant campaign runner
   (timeouts, bounded retry, quarantine, manifest-based resume) wrapping
   the experiment suite and seed sweeps.
@@ -31,6 +37,18 @@ from repro.robustness.faults import (
     FaultSpec,
     InjectedFault,
     install_fault_plan,
+)
+from repro.robustness.iofault import (
+    InjectedIoError,
+    IoFaultKind,
+    IoFaultPlan,
+    IoFaultSpec,
+    IoOperationRecorder,
+    clear_io_faults,
+    install_io_faults,
+    io_faults,
+    parse_io_fault_specs,
+    record_io_operations,
 )
 from repro.robustness.invariants import (
     InclusivityInvariant,
@@ -87,6 +105,16 @@ __all__ = [
     "FaultSpec",
     "InjectedFault",
     "install_fault_plan",
+    "InjectedIoError",
+    "IoFaultKind",
+    "IoFaultPlan",
+    "IoFaultSpec",
+    "IoOperationRecorder",
+    "clear_io_faults",
+    "install_io_faults",
+    "io_faults",
+    "parse_io_fault_specs",
+    "record_io_operations",
     "InclusivityInvariant",
     "Invariant",
     "InvariantMonitor",

@@ -74,7 +74,13 @@ from repro.cache.replacement import (
 )
 from repro.cache.sa_cache import SetAssociativeCache
 from repro.common.errors import CheckpointError
-from repro.common.fileio import atomic_write_text, cleanup_stale_tmp
+from repro.common.fileio import (
+    Durability,
+    cleanup_stale_tmp,
+    count_io,
+    persist_text,
+    read_text,
+)
 from repro.common.types import AccessType, EntryState, TransactionKind
 from repro.cpu.core import CoreState, TraceDrivenCore
 from repro.cpu.private_stack import PrivateStack
@@ -796,8 +802,23 @@ def restore_simulator(sim, payload: Mapping[str, Any]) -> None:
 # ----------------------------------------------------------------------
 # File format
 # ----------------------------------------------------------------------
-def save_checkpoint(sim, path: Union[str, Path], registry=None) -> Path:
-    """Snapshot ``sim`` and write it crash-consistently to ``path``."""
+def save_checkpoint(
+    sim,
+    path: Union[str, Path],
+    registry=None,
+    *,
+    durability: Durability = Durability.ESSENTIAL,
+    site: str = "checkpoint",
+) -> Optional[Path]:
+    """Snapshot ``sim`` and write it crash-consistently to ``path``.
+
+    An explicitly requested checkpoint file is ESSENTIAL (a failed save
+    raises :class:`~repro.common.errors.PersistenceError` after bounded
+    retries); auto-checkpoints installed via the directory policy are
+    saved BEST-EFFORT (``site="auto-checkpoint"``) — a failed save
+    degrades through the circuit breaker, returns ``None`` and the
+    simulation continues uncheckpointed but correct.
+    """
     payload = snapshot_simulator(sim)
     body = _canonical(payload)
     digest = hashlib.sha256(body.encode()).hexdigest()
@@ -805,8 +826,10 @@ def save_checkpoint(sim, path: Union[str, Path], registry=None) -> Path:
     # the payload a second time: "integrity" < "payload" sorts first, so
     # the bytes match a full canonical dump of the document exactly.
     document = '{"integrity":"%s","payload":%s}' % (digest, body)
-    target = atomic_write_text(path, document + "\n")
-    if registry is not None:
+    target = persist_text(
+        path, document + "\n", site=site, durability=durability
+    )
+    if registry is not None and target is not None:
         registry.counter("checkpoint.saves").inc()
         registry.counter("checkpoint.bytes").inc(len(document) + 1)
     return target
@@ -816,7 +839,7 @@ def load_checkpoint(path: Union[str, Path], registry=None) -> Dict[str, Any]:
     """Read, integrity-check and version-check a checkpoint payload."""
     path = Path(path)
     try:
-        text = path.read_text()
+        text = read_text(path, site="checkpoint")
     except OSError as exc:
         raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
     try:
@@ -959,6 +982,8 @@ def run_resumable(
     engine: Optional[str] = None,
     registry=None,
     clock: Callable[[], float] = time.monotonic,
+    durability: Durability = Durability.ESSENTIAL,
+    site: str = "checkpoint",
 ):
     """Run a simulation with periodic checkpoints, resuming if one exists.
 
@@ -969,22 +994,36 @@ def run_resumable(
     starting over; the checkpoint file is deleted on normal completion.
     The returned report — and any metrics/trace output built from the
     simulator — is byte-identical to an uninterrupted run.
+
+    ``durability`` governs the periodic saves (see
+    :func:`save_checkpoint`).  Under ``BEST_EFFORT`` a checkpoint that
+    fails to *load* (corrupted on disk) is also tolerated: the bad file
+    is deleted, counted in ``io.degraded.<site>``, and the run restarts
+    from scratch — an auto-checkpoint is an accelerator, never a
+    correctness dependency.
     """
     from repro.sim.simulator import Simulator
 
     path = Path(path)
     cleanup_stale_tmp(path)
+    sim = None
     if path.exists():
-        sim = Simulator.restore(
-            path,
-            config,
-            traces,
-            start_cycles=start_cycles,
-            event_sink=event_sink,
-            engine=engine,
-            registry=registry,
-        )
-    else:
+        try:
+            sim = Simulator.restore(
+                path,
+                config,
+                traces,
+                start_cycles=start_cycles,
+                event_sink=event_sink,
+                engine=engine,
+                registry=registry,
+            )
+        except CheckpointError:
+            if durability is Durability.ESSENTIAL:
+                raise
+            count_io(f"io.degraded.{site}")
+            path.unlink(missing_ok=True)
+    if sim is None:
         sim = Simulator(config, traces, start_cycles, event_sink, engine)
     interval = every_slots if every_slots is not None else DEFAULT_POLL_SLOTS
     last_save = clock()
@@ -995,11 +1034,19 @@ def run_resumable(
             # paused chunks above advance the engine report-free.
             report = sim.engine.run()
             sim.system.check_inclusivity()
-            path.unlink(missing_ok=True)
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                # A leftover checkpoint of a *completed* run only costs
+                # one restore on the next identical invocation; the
+                # restored end-state replays to the same report.
+                count_io("io.swallowed.checkpoint-unlink")
             return report
         if every_secs is not None:
             now = clock()
             if now - last_save < every_secs:
                 continue
             last_save = now
-        save_checkpoint(sim, path, registry=registry)
+        save_checkpoint(
+            sim, path, registry=registry, durability=durability, site=site
+        )

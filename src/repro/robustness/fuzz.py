@@ -32,6 +32,7 @@ from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from repro.common.errors import FuzzError, ReproError
+from repro.common.fileio import Durability, persist_text
 from repro.common.types import CoreId
 from repro.cpu.private_stack import PrivateStackConfig
 from repro.llc.partition import PartitionSpec
@@ -643,7 +644,10 @@ def run_fuzz(
     if registry is not None:
         record_fuzz_metrics(registry, report)
     if target is not None:
-        (target / "fuzz-report.json").write_text(
-            json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n"
+        persist_text(
+            target / "fuzz-report.json",
+            json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n",
+            site="fuzz-report",
+            durability=Durability.ESSENTIAL,
         )
     return report

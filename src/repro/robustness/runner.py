@@ -51,7 +51,12 @@ from repro.common.errors import (
     ReproError,
     TaskTimeoutError,
 )
-from repro.common.fileio import atomic_write_text, cleanup_stale_tmp
+from repro.common.fileio import (
+    Durability,
+    cleanup_stale_tmp,
+    persist_text,
+    read_text,
+)
 from repro.common.validation import require
 from repro.sim.config import SystemConfig
 from repro.sim.report import SimReport
@@ -130,7 +135,7 @@ class RunManifest:
         if not manifest.path.exists():
             return manifest
         try:
-            data = json.loads(manifest.path.read_text())
+            data = json.loads(read_text(manifest.path, site="manifest"))
         except (OSError, json.JSONDecodeError) as exc:
             raise CampaignError(
                 f"run manifest {manifest.path} is unreadable: {exc}"
@@ -185,7 +190,13 @@ class RunManifest:
             },
             indent=2,
         )
-        atomic_write_text(self.path, payload + "\n")
+        # The manifest is the campaign's resume point: ESSENTIAL.
+        persist_text(
+            self.path,
+            payload + "\n",
+            site="manifest",
+            durability=Durability.ESSENTIAL,
+        )
 
     def results(self) -> Dict[str, Dict[str, Any]]:
         """Status and payload per task — the comparable campaign outcome.
@@ -701,7 +712,12 @@ def write_campaign_summaries(
             and "checks" in entry["payload"]
             else {"quarantined": entry.get("error")}
         )
-    (target / "summary.json").write_text(json.dumps(summary, indent=2) + "\n")
+    persist_text(
+        target / "summary.json",
+        json.dumps(summary, indent=2) + "\n",
+        site="campaign-summary",
+        durability=Durability.ESSENTIAL,
+    )
     lines = []
     for name in ordered:
         entry = result.manifest.tasks[name]
@@ -710,7 +726,12 @@ def write_campaign_summaries(
             continue
         payload = entry.get("payload") or {}
         lines.append(f"{'PASS' if payload.get('passed') else 'FAIL'}  {name}")
-    (target / "SUMMARY.txt").write_text("\n".join(lines) + "\n")
+    persist_text(
+        target / "SUMMARY.txt",
+        "\n".join(lines) + "\n",
+        site="campaign-summary",
+        durability=Durability.ESSENTIAL,
+    )
 
 
 def run_all_robust(
@@ -795,8 +816,11 @@ def run_all_robust(
         def task():
             artifact = step()
             if target is not None:
-                (target / f"{artifact.name}.txt").write_text(
-                    artifact.table + "\n"
+                persist_text(
+                    target / f"{artifact.name}.txt",
+                    artifact.table + "\n",
+                    site="artifact-table",
+                    durability=Durability.ESSENTIAL,
                 )
             return artifact
 

@@ -24,6 +24,7 @@ from pathlib import Path
 from typing import Any, Callable, Dict, Optional, Tuple, Union
 
 from repro.common.errors import FuzzError, ReproError
+from repro.common.fileio import Durability, persist_text
 from repro.robustness.fuzz import FuzzCase, FuzzCaseResult, run_fuzz_case
 
 #: Schema version of repro artifacts.
@@ -270,9 +271,11 @@ def artifact_dict(result: ShrinkResult) -> Dict[str, Any]:
 def write_artifact(path: Union[str, Path], result: ShrinkResult) -> Path:
     """Write the artifact JSON (stable layout) and return its path."""
     target = Path(path)
-    target.parent.mkdir(parents=True, exist_ok=True)
-    target.write_text(
-        json.dumps(artifact_dict(result), indent=2, sort_keys=True) + "\n"
+    persist_text(
+        target,
+        json.dumps(artifact_dict(result), indent=2, sort_keys=True) + "\n",
+        site="repro-artifact",
+        durability=Durability.ESSENTIAL,
     )
     return target
 

@@ -51,7 +51,13 @@ from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.common.errors import CheckpointError, ConfigurationError
-from repro.common.fileio import atomic_write_text, sweep_stale_tmp
+from repro.common.fileio import (
+    Durability,
+    count_io,
+    persist_text,
+    read_bytes,
+    sweep_stale_tmp,
+)
 from repro.common.validation import require
 from repro.sim.events import EventKind, EventLog, SimEvent
 from repro.sim.report import CoreReport, RequestRecord, SimReport
@@ -424,8 +430,13 @@ class SimResultCache:
             return load_report(memo["report"])
         path = self.entry_path(key)
         try:
-            data = path.read_bytes()
+            data = read_bytes(path, site="result-cache")
+        except FileNotFoundError:
+            # A cold miss is normal operation, not a swallowed error.
+            self._count("misses")
+            return None
         except OSError:
+            count_io("io.swallowed.result-cache.read")
             self._count("misses")
             return None
         payload = self._validated_payload(path, data, expected_key=key)
@@ -442,8 +453,14 @@ class SimResultCache:
         traces: Mapping[int, MemoryTrace],
         start_cycles: Optional[Mapping[int, int]],
         report: SimReport,
-    ) -> Path:
-        """Persist one completed run's report under its canonical key."""
+    ) -> Optional[Path]:
+        """Persist one completed run's report under its canonical key.
+
+        Cache entries are BEST-EFFORT: a failed write degrades through
+        the ``result-cache`` circuit breaker (counted, one stderr
+        notice) and returns ``None`` — the in-process memo still holds
+        the report, so the run's results are unaffected.
+        """
         key = result_cache_key(config, traces, start_cycles)
         state = report_state(report)
         payload = {
@@ -464,10 +481,16 @@ class SimResultCache:
         # dumping it a second time: "integrity" < "payload" sorts
         # first, so the bytes match a full canonical dump exactly.
         document = '{"integrity":"%s","payload":%s}' % (digest, body)
-        target = atomic_write_text(self.entry_path(key), document + "\n")
+        target = persist_text(
+            self.entry_path(key),
+            document + "\n",
+            site="result-cache",
+            durability=Durability.BEST_EFFORT,
+        )
         self._memo[key] = payload
-        self._count("stores")
-        self._count("stored_bytes", len(document) + 1)
+        if target is not None:
+            self._count("stores")
+            self._count("stored_bytes", len(document) + 1)
         return target
 
     # -- validation ------------------------------------------------------
@@ -510,8 +533,9 @@ class SimResultCache:
         removed: List[Path] = []
         for path in self._entries():
             try:
-                data = path.read_bytes()
+                data = read_bytes(path, site="result-cache")
             except OSError:
+                count_io("io.swallowed.result-cache.read")
                 continue
             if self._validated_payload(path, data) is None:
                 removed.append(path)

@@ -9,6 +9,7 @@ CSV (one row per completed request), and provides the latency statistics
 from __future__ import annotations
 
 import csv
+import io
 import json
 import math
 from dataclasses import dataclass
@@ -16,6 +17,7 @@ from pathlib import Path
 from typing import Dict, Optional, Sequence, Union
 
 from repro.common.errors import ReproError
+from repro.common.fileio import Durability, persist_text
 from repro.common.types import CoreId, Cycle
 from repro.sim.report import SimReport
 
@@ -118,41 +120,52 @@ def report_to_dict(report: SimReport) -> dict:
 
 
 def write_report_json(report: SimReport, path: Union[str, Path]) -> None:
-    """Write the aggregate report as JSON."""
-    Path(path).write_text(json.dumps(report_to_dict(report), indent=2) + "\n")
+    """Write the aggregate report as JSON (requested output: ESSENTIAL)."""
+    persist_text(
+        Path(path),
+        json.dumps(report_to_dict(report), indent=2) + "\n",
+        site="report-export",
+        durability=Durability.ESSENTIAL,
+    )
 
 
 def write_requests_csv(report: SimReport, path: Union[str, Path]) -> None:
-    """Write one CSV row per completed request."""
-    with open(path, "w", newline="") as handle:
-        writer = csv.writer(handle)
+    """Write one CSV row per completed request (requested: ESSENTIAL)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(
+        [
+            "core",
+            "block",
+            "enqueued_at",
+            "first_on_bus_at",
+            "completed_at",
+            "latency",
+            "bus_latency",
+            "bus_attempts",
+            "served_by_hit",
+        ]
+    )
+    for record in report.requests:
         writer.writerow(
             [
-                "core",
-                "block",
-                "enqueued_at",
-                "first_on_bus_at",
-                "completed_at",
-                "latency",
-                "bus_latency",
-                "bus_attempts",
-                "served_by_hit",
+                record.core,
+                record.block,
+                record.enqueued_at,
+                record.first_on_bus_at,
+                record.completed_at,
+                record.latency,
+                record.bus_latency,
+                record.bus_attempts,
+                int(record.served_by_hit),
             ]
         )
-        for record in report.requests:
-            writer.writerow(
-                [
-                    record.core,
-                    record.block,
-                    record.enqueued_at,
-                    record.first_on_bus_at,
-                    record.completed_at,
-                    record.latency,
-                    record.bus_latency,
-                    record.bus_attempts,
-                    int(record.served_by_hit),
-                ]
-            )
+    persist_text(
+        Path(path),
+        buffer.getvalue(),
+        site="report-export",
+        durability=Durability.ESSENTIAL,
+    )
 
 
 def write_events_jsonl(report: SimReport, path: Union[str, Path]) -> None:
@@ -166,23 +179,27 @@ def write_events_jsonl(report: SimReport, path: Union[str, Path]) -> None:
         raise ReproError(
             "event log is empty; run the simulation with record_events=True"
         )
-    with open(path, "w") as handle:
-        for event in report.events:
-            handle.write(
-                json.dumps(
-                    {
-                        "cycle": event.cycle,
-                        "slot": event.slot,
-                        "kind": event.kind.value,
-                        "core": event.core,
-                        "block": event.block,
-                        "set": event.set_index,
-                        "way": event.way,
-                        "detail": event.detail,
-                    }
-                )
-                + "\n"
-            )
+    lines = [
+        json.dumps(
+            {
+                "cycle": event.cycle,
+                "slot": event.slot,
+                "kind": event.kind.value,
+                "core": event.core,
+                "block": event.block,
+                "set": event.set_index,
+                "way": event.way,
+                "detail": event.detail,
+            }
+        )
+        for event in report.events
+    ]
+    persist_text(
+        Path(path),
+        "\n".join(lines) + "\n",
+        site="report-export",
+        durability=Durability.ESSENTIAL,
+    )
 
 
 def core_latency_stats(

@@ -197,9 +197,14 @@ def _simulate_uncached(
                 run_resumable,
             )
 
+            from repro.common.fileio import Durability
+
             run_config = config
             if engine is not None and engine != config.engine:
                 run_config = dataclasses.replace(config, engine=engine)
+            # Policy-driven auto-checkpoints are an accelerator the run
+            # can live without: save them BEST-EFFORT so a full scratch
+            # directory degrades the store instead of killing the run.
             return run_resumable(
                 config,
                 traces,
@@ -211,6 +216,8 @@ def _simulate_uncached(
                 start_cycles=start_cycles,
                 event_sink=event_sink,
                 engine=engine,
+                durability=Durability.BEST_EFFORT,
+                site="auto-checkpoint",
             )
     if checkpoint_path is None and (
         checkpoint_every_slots is not None or checkpoint_every_secs is not None

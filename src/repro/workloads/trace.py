@@ -23,6 +23,7 @@ from pathlib import Path
 from typing import Iterable, Iterator, List, Sequence, Union, overload
 
 from repro.common.errors import TraceError
+from repro.common.fileio import Durability, persist_text
 from repro.common.types import AccessType, Address
 
 
@@ -140,7 +141,12 @@ def write_trace(trace: MemoryTrace, path: Union[str, Path]) -> None:
     target = Path(path)
     lines = [f"# trace {trace.name or target.stem}: {len(trace)} records"]
     lines.extend(record.to_line() for record in trace)
-    target.write_text("\n".join(lines) + "\n")
+    persist_text(
+        target,
+        "\n".join(lines) + "\n",
+        site="workload-trace",
+        durability=Durability.ESSENTIAL,
+    )
 
 
 def read_trace(path: Union[str, Path], name: str = "") -> MemoryTrace:

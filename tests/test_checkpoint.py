@@ -18,7 +18,9 @@ from repro.common.errors import (
     CheckpointError,
     ConfigurationError,
     ObservabilityError,
+    PersistenceError,
 )
+from repro.common import fileio
 from repro.common.fileio import atomic_write_text, cleanup_stale_tmp, tmp_sibling
 from repro.obs.exporters import metrics_to_jsonl, write_metrics
 from repro.obs.metrics import MetricsRegistry
@@ -291,7 +293,7 @@ def test_checkpoint_metrics_counters(tmp_path):
 # ----------------------------------------------------------------------
 # Torn writes: a kill mid-save never loses the previous generation
 # ----------------------------------------------------------------------
-def _interrupted_save(tmp_path, monkeypatch, boom):
+def _interrupted_save(tmp_path, monkeypatch, boom, expect=None):
     """Write a valid checkpoint, then make the *next* save die in
     ``os.replace`` — the moment a torn write would clobber the target."""
     config = small_config()
@@ -309,20 +311,28 @@ def _interrupted_save(tmp_path, monkeypatch, boom):
         raise boom
 
     monkeypatch.setattr(os, "replace", dying_replace)
-    with pytest.raises(type(boom)):
+    with pytest.raises(expect or type(boom)):
         sim.checkpoint(path)
     monkeypatch.setattr(os, "replace", real_replace)
     return config, traces, path, before
 
 
 def test_torn_write_keeps_previous_checkpoint_valid(tmp_path, monkeypatch):
-    config, traces, path, before = _interrupted_save(
-        tmp_path, monkeypatch, OSError("disk full")
+    # An ESSENTIAL save retries, then fails loudly as PersistenceError
+    # (never a bare OSError: the retry budget is already spent).
+    fileio.set_essential_retry(
+        fileio.EssentialRetryPolicy(backoff_base=0.0)
     )
-    # The target was never touched; the orphaned temp file is sweepable.
+    try:
+        config, traces, path, before = _interrupted_save(
+            tmp_path, monkeypatch, OSError("disk full"),
+            expect=PersistenceError,
+        )
+    finally:
+        fileio.set_essential_retry(fileio.EssentialRetryPolicy())
+    # The target was never touched and the failed write cleaned up its
+    # own temp sibling — an ENOSPC mid-save leaks no partial data.
     assert path.read_bytes() == before
-    assert tmp_sibling(path).exists()
-    cleanup_stale_tmp(path)
     assert not tmp_sibling(path).exists()
     restored = Simulator.restore(path, config, traces)
     assert restored.engine._slot == 9

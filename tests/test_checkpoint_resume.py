@@ -143,9 +143,9 @@ def test_run_resumable_wall_clock_interval_uses_injected_clock(tmp_path):
 
     real_save = ckpt.save_checkpoint
 
-    def counting_save(sim, target, registry=None):
+    def counting_save(sim, target, registry=None, **kwargs):
         saves.append(sim.engine._slot)
-        return real_save(sim, target, registry=registry)
+        return real_save(sim, target, registry=registry, **kwargs)
 
     ckpt.save_checkpoint = counting_save
     try:

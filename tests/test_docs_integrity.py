@@ -139,3 +139,59 @@ class TestPerformanceDoc:
     def test_named_test_files_exist(self):
         for path in re.findall(r"`(tests/[\w./-]+)`", self.text):
             assert (REPO_ROOT / path).exists(), f"missing test file {path}"
+
+
+class TestRobustnessIoFaultDoc:
+    """docs/ROBUSTNESS.md carries the I/O durability & fault contract."""
+
+    @property
+    def text(self):
+        return (REPO_ROOT / "docs" / "ROBUSTNESS.md").read_text()
+
+    def test_covers_durability_classes_and_breaker_semantics(self):
+        for needle in (
+            "I/O fault tolerance & degradation policy",
+            "ESSENTIAL",
+            "BEST-EFFORT",
+            "EssentialRetryPolicy",
+            "circuit breaker",
+            "PersistenceError",
+            "io.degraded",
+            "io.swallowed",
+            "byte-identical",
+        ):
+            assert needle in self.text, f"ROBUSTNESS.md must cover {needle!r}"
+
+    def test_covers_the_fault_injection_grammar(self):
+        for needle in (
+            "--io-fault",
+            "--io-fault-seed",
+            "repro.robustness.iofault",
+            "enospc",
+            "short-write",
+            "corrupt-read",
+            "site=result-cache",
+        ):
+            assert needle in self.text, f"ROBUSTNESS.md must cover {needle!r}"
+
+    def test_matches_the_code_constants(self):
+        from repro.common import fileio
+        from repro.robustness import iofault
+
+        assert f"`DEGRADE_AFTER` ({fileio.DEGRADE_AFTER})" in self.text
+        for kind in iofault.IoFaultKind:
+            assert kind.value in self.text, (
+                f"ROBUSTNESS.md must list fault kind {kind.value!r}"
+            )
+
+    def test_readme_and_api_cross_link(self):
+        readme = (REPO_ROOT / "README.md").read_text()
+        api = (REPO_ROOT / "docs" / "API.md").read_text()
+        assert "--io-fault" in readme
+        assert "docs/ROBUSTNESS.md" in readme
+        assert "repro.robustness.iofault" in api
+        assert "repro.common.fileio" in api
+
+    def test_named_test_files_exist(self):
+        for path in re.findall(r"`(tests/[\w./-]+)`", self.text):
+            assert (REPO_ROOT / path).exists(), f"missing test file {path}"
